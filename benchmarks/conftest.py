@@ -1,0 +1,31 @@
+"""Benchmark harness conventions.
+
+Each ``test_<id>`` regenerates one of the paper's tables/figures via
+``repro.experiments.<id>.run`` inside a single-round pytest-benchmark
+measurement and prints the paper-vs-measured table. Set
+``REPRO_BENCH_FULL=1`` for the slower, higher-fidelity parameters.
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment exactly once under the benchmark clock and print
+    its table so the bench log doubles as the results record."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+        return result
+
+    return runner

@@ -1,0 +1,63 @@
+"""Benchmarks for the experience/appendix artifacts: Fig 15, Table 5,
+Table A1, Fig A1."""
+
+from benchmarks.conftest import full_mode
+
+from repro.experiments import figa1, fig15, table5, tablea1
+
+
+def test_fig15_state_size(run_experiment):
+    result = run_experiment(
+        fig15.run,
+        sessions_per_region=50_000 if full_mode() else 10_000)
+    averages = [row["avg_state_bytes"] for row in result.rows]
+    # Paper: regional averages between ~5 and ~8 bytes.
+    assert 5.0 <= min(averages)
+    assert max(averages) <= 9.0
+    # Variable-length states buy ~8x headroom.
+    headrooms = [row["flows_headroom_x"] for row in result.rows]
+    assert min(headrooms) > 7.0
+
+
+def test_table5_deployment_costs(run_experiment):
+    result = run_experiment(table5.run)
+    rows = {row["item"]: row for row in result.rows}
+    sw = rows["software development (P-M)"]
+    assert sw["nezha"] < sw["sailfish"] / 3
+    scale = rows["scale-out time (days)"]
+    assert scale["nezha"] <= 7
+    assert scale["sailfish"] >= 30
+    assert any("10%" in note for note in result.notes)
+
+
+def test_tablea1_lookup_throughput(run_experiment):
+    result = run_experiment(tablea1.run,
+                            lookups_per_cell=500 if full_mode() else 100)
+    rows = {(row["pkt_bytes"], row["acl_rules"]): row["measured_mpps"]
+            for row in result.rows}
+    # Corner calibration: within 5% of the paper at the anchors.
+    assert abs(rows[(64, 0)] - 6.612) / 6.612 < 0.05
+    assert abs(rows[(64, 1000)] - 5.422) / 5.422 < 0.05
+    assert abs(rows[(512, 0)] - 5.985) / 5.985 < 0.05
+    # Monotone decline with packet size and rule count.
+    for rules in (0, 1000):
+        assert rows[(512, rules)] < rows[(64, rules)]
+    for size in (64, 512):
+        assert rows[(size, 1000)] < rows[(size, 0)]
+    # Interior cells within 10% of the paper.
+    for row in result.rows:
+        assert abs(row["measured_mpps"] - row["paper_mpps"]) \
+            / row["paper_mpps"] < 0.10
+
+
+def test_figa1_migration_downtime(run_experiment):
+    result = run_experiment(figa1.run,
+                            samples_per_point=500 if full_mode() else 100)
+    by_vcpu = {row["value"]: row["avg_downtime_s"] for row in result.rows
+               if row["dimension"] == "vcpus"}
+    by_mem = {row["value"]: row for row in result.rows
+              if row["dimension"] == "memory_gb"}
+    assert by_vcpu[128] > 2 * by_vcpu[4]
+    assert by_mem[1024]["avg_downtime_s"] > 5 * by_mem[16]["avg_downtime_s"]
+    # 1TB migration completes in tens of minutes (vs 2s for offloading).
+    assert 600 < by_mem[1024]["avg_completion_s"] < 3600

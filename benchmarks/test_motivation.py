@@ -1,0 +1,54 @@
+"""Benchmarks for the motivation artifacts: Fig 2, Fig 3, Fig 4, Table 1."""
+
+from repro.experiments import fig2, fig3, fig4, table1
+
+from benchmarks.conftest import full_mode
+
+
+def test_fig2_vm_vs_vswitch_cpu(run_experiment):
+    result = run_experiment(fig2.run,
+                            n_vms=8 if full_mode() else 3,
+                            duration=1.5 if full_mode() else 1.0)
+    # Every high-CPS VM saturates its vSwitch far beyond its own CPU.
+    for row in result.rows:
+        assert row["vswitch_cpu"] > row["vm_cpu"] + 0.2
+        assert row["vm_cpu"] < 0.6
+        assert row["vswitch_cpu"] > 0.7
+
+
+def test_fig3_hotspot_distribution(run_experiment):
+    result = run_experiment(fig3.run,
+                            n_vswitches=200_000 if full_mode() else 50_000)
+    cps = result.row_where("cause", "cps")["measured_share"]
+    flows = result.row_where("cause", "flows")["measured_share"]
+    vnics = result.row_where("cause", "vnics")["measured_share"]
+    assert abs(cps - 0.61) < 0.08
+    assert abs(flows - 0.30) < 0.08
+    assert abs(vnics - 0.09) < 0.05
+    assert cps > flows > vnics          # the paper's ordering
+
+
+def test_fig4_fleet_utilization(run_experiment):
+    result = run_experiment(fig4.run,
+                            n_vswitches=200_000 if full_mode() else 50_000)
+    for row in result.rows:
+        if row["percentile"] == "avg":
+            continue  # the paper's own avg/percentile tension (see note)
+        assert abs(row["cpu_measured"] - row["cpu_paper"]) \
+            <= 0.15 * max(row["cpu_paper"], 0.1)
+    p90 = result.row_where("percentile", "P90")
+    p9999 = result.row_where("percentile", "P9999")
+    # The "shortage amid waste" signature: huge P9999/P90 spread.
+    assert p9999["cpu_measured"] > 4 * p90["cpu_measured"]
+
+
+def test_table1_usage_distribution(run_experiment):
+    result = run_experiment(table1.run,
+                            n_samples=200_000 if full_mode() else 60_000)
+    for row in result.rows:
+        if row["percentile"] in ("P50", "P90", "P99"):
+            assert abs(row["measured"] - row["paper"]) \
+                <= 0.3 * row["paper"] + 0.002
+        # heavy concentration: P9999 user dwarfs the median user
+        if row["percentile"] == "P50":
+            assert row["measured"] < 0.01

@@ -1,0 +1,73 @@
+"""Benchmarks for the §6.2 testbed results: Fig 9, Fig 10, Fig 11, Fig 12."""
+
+from benchmarks.conftest import full_mode
+
+from repro.experiments import fig9, fig10, fig11, fig12
+
+
+def test_fig9_gain_vs_fes(run_experiment):
+    if full_mode():
+        fe_counts, duration = (0, 1, 2, 4, 6, 8, 12), 1.5
+    else:
+        fe_counts, duration = (0, 1, 2, 4, 8), 1.0
+    result = run_experiment(fig9.run, fe_counts=fe_counts,
+                            duration=duration, warmup=0.8)
+    gains = {row["n_fes"]: row["cps_gain"] for row in result.rows}
+    # Growth region then plateau around 3.3x (the paper's headline).
+    assert gains[1] > 1.2
+    assert gains[2] > gains[1]
+    assert gains[4] > gains[2]
+    assert 2.7 < gains[4] < 4.0
+    assert abs(gains[8] - gains[4]) < 0.35          # plateau past 4 FEs
+    # Memory-bound capabilities.
+    flows = {row["n_fes"]: row["flows_gain"] for row in result.rows}
+    assert 3.3 < flows[4] < 4.3                     # ~3.8x
+    assert abs(flows[8] - flows[4]) < 0.01          # saturated at 4
+    vnics = {row["n_fes"]: row["vnics_gain"] for row in result.rows}
+    assert vnics[8] == 2 * vnics[4]                 # proportional to #FEs
+
+
+def test_fig10_cps_vs_vcpus(run_experiment):
+    if full_mode():
+        vcpus, duration = (8, 16, 32, 48, 64), 1.5
+    else:
+        vcpus, duration = (16, 32, 64), 1.0
+    result = run_experiment(fig10.run, vcpu_counts=vcpus, duration=duration,
+                            warmup=0.8)
+    rows = {row["vcpus"]: row for row in result.rows}
+    smallest, largest = min(vcpus), max(vcpus)
+    # Without Nezha the vSwitch caps CPS regardless of vCPUs.
+    assert abs(rows[largest]["cps_without"]
+               - rows[smallest]["cps_without"]) \
+        < 0.2 * rows[smallest]["cps_without"]
+    # With Nezha CPS grows with vCPUs...
+    assert rows[largest]["cps_with"] > 1.5 * rows[smallest]["cps_with"]
+    # ...but sub-linearly (kernel locks).
+    assert rows[largest]["cps_with"] \
+        < (largest / smallest) * rows[smallest]["cps_with"] * 0.9
+
+
+def test_fig11_offload_and_scaling(run_experiment):
+    result = run_experiment(fig11.run,
+                            duration=14.0 if full_mode() else 10.0)
+    series = [(row["time_s"], row["be_cpu"]) for row in result.rows]
+    peak = max(v for _t, v in series)
+    tail = [v for t, v in series if t > series[-1][0] - 2.0]
+    assert peak > 0.7                       # the ramp crossed the threshold
+    assert min(tail) < 0.35                 # BE collapsed after offload
+    assert any("->" in note for note in result.notes)
+
+
+def test_fig12_latency_vs_load(run_experiment):
+    if full_mode():
+        loads = (0, 8, 16, 32, 48, 64, 96)
+    else:
+        loads = (0, 32, 96)
+    result = run_experiment(fig12.run, load_levels=loads)
+    rows = {row["load_concurrency"]: row for row in result.rows}
+    low, high = min(loads), max(loads)
+    # At low load the extra hop is a small constant.
+    assert rows[low]["extra_hop_us"] < 0.3 * rows[low]["latency_without_us"]
+    # At overload the local path deteriorates far beyond Nezha's.
+    assert rows[high]["latency_without_us"] \
+        > 2.0 * rows[high]["latency_with_us"]

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Middlebox scenario: a load balancer with stateful decap behind Nezha.
+
+Reproduces the paper's §5.2 / §6.3 deployment shape:
+
+* an SLB instance terminates client transactions on a VIP and proxies
+  them over persistent connections to two real servers (RS);
+* the RS vNICs use *stateful decapsulation* — their vSwitches record the
+  overlay source (the LB) so responses return through it;
+* the LB's high-demand vNIC is then offloaded with Nezha, and the same
+  traffic keeps flowing through the BE/FE split.
+
+Run:  python examples/middlebox_offload.py
+"""
+
+from repro.controller.gateway import Gateway, MappingLearner
+from repro.controller.latency import ControlLatencyModel
+from repro.core.nf import enable_stateful_decap
+from repro.core.offload import NezhaOrchestrator, OffloadConfig
+from repro.fabric import Topology
+from repro.host import GuestTcp, Vm
+from repro.middlebox import SlbApp, lb_profile
+from repro.net import IPv4Address, MacAddress, Packet, TcpFlags
+from repro.sim import Engine, SeededRng
+from repro.vswitch import CostModel, Vnic, VSwitch
+from repro.vswitch.rule_tables import Location
+from repro.vswitch.vswitch import make_standard_chain
+
+VNI = 200
+CLIENT_IP = IPv4Address("192.168.2.1")
+VIP = IPv4Address("192.168.2.10")
+RS_IPS = [IPv4Address("192.168.2.21"), IPv4Address("192.168.2.22")]
+
+
+def main() -> None:
+    engine = Engine()
+    rng = SeededRng(7, "mb")
+    cost_model = CostModel.testbed()
+    topo = Topology.leaf_spine(engine, n_tors=1, servers_per_tor=8)
+    vswitches = [VSwitch(engine, s, cost_model) for s in topo.servers]
+    gateway = Gateway(engine)
+
+    # vNICs: client on s0, LB VIP on s1 (the LB-profile chain), RSes on
+    # s2/s3 with stateful decap enabled.
+    profile = lb_profile()
+    vnics = {}
+    placements = [(1, CLIENT_IP, 0, make_standard_chain(cost_model)),
+                  (2, VIP, 1, profile.build_chain(cost_model)),
+                  (3, RS_IPS[0], 2, make_standard_chain(cost_model)),
+                  (4, RS_IPS[1], 3, make_standard_chain(cost_model))]
+    for vnic_id, ip, server_idx, chain in placements:
+        vnic = Vnic(vnic_id, VNI, ip, MacAddress(0xD0 + vnic_id), chain)
+        vswitches[server_idx].add_vnic(vnic)
+        vnics[ip.value] = vnic
+        gateway.set_locations(VNI, ip, [Location(
+            topo.servers[server_idx].underlay_ip,
+            topo.servers[server_idx].mac)])
+    for rs_ip in RS_IPS:
+        enable_stateful_decap(vnics[rs_ip.value])
+    for index, vswitch in enumerate(vswitches):
+        learner = MappingLearner(engine, vswitch, gateway, interval=0.05,
+                                 rng=rng.child(f"l{index}"))
+        learner.refresh()
+        learner.start()
+
+    # Guests: client, LB app, RS responders.
+    client_vm = Vm(engine, "client", vcpus=16)
+    client_vm.attach_vnic(vnics[CLIENT_IP.value])
+    lb_vm = Vm(engine, "slb", vcpus=32)
+    lb_vm.attach_vnic(vnics[VIP.value])
+    lb = SlbApp(lb_vm, vnics[VIP.value], vip_port=80, real_servers=RS_IPS,
+                rng=rng.child("slb"))
+    for rs_ip in RS_IPS:
+        rs_vm = Vm(engine, f"rs-{rs_ip}", vcpus=16)
+        rs_vm.attach_vnic(vnics[rs_ip.value])
+        GuestTcp(rs_vm, vnics[rs_ip.value]).serve(8080)
+
+    responses = []
+    client_vm.listen(vnics[CLIENT_IP.value], 7000,
+                     lambda pkt: responses.append(pkt))
+
+    def client_transaction(sport_offset):
+        vnic = vnics[CLIENT_IP.value]
+        syn = Packet.tcp(CLIENT_IP, VIP, 7000, 80, TcpFlags.of("syn"))
+        client_vm.send(vnic, syn, new_connection=True)
+        req = Packet.tcp(CLIENT_IP, VIP, 7000, 80,
+                         TcpFlags.of("psh", "ack"), b"GET /")
+        engine.call_after(0.05, client_vm.send, vnic, req)
+
+    # --- phase 1: LB running locally ----------------------------------------
+    client_transaction(0)
+    engine.run(until=1.0)
+    print("phase 1 — LB local")
+    print(f"  client transactions : {lb.client_transactions}")
+    print(f"  proxied requests    : {lb.proxied_requests}")
+    print(f"  responses returned  : {lb.responses_returned}")
+    print(f"  persistent backends : {lb.persistent_backends}")
+    rs_vswitch = vswitches[2]
+    decap_states = [e.state.decap_overlay_src for e in rs_vswitch.session_table
+                    if e.state is not None
+                    and e.state.decap_overlay_src is not None]
+    print(f"  RS decap states     : {len(decap_states)} "
+          f"(recorded overlay source = LB's server)")
+
+    # --- phase 2: offload the LB's vNIC --------------------------------------
+    orchestrator = NezhaOrchestrator(
+        engine, gateway, rng=rng.child("orch"),
+        config=OffloadConfig(learning_interval=0.05, inflight_margin=0.01,
+                             latency=ControlLatencyModel.fast()))
+    handle = orchestrator.offload(vnics[VIP.value], vswitches[4:8])
+    engine.run(until=engine.now + 1.0)
+    print("\nphase 2 — LB vNIC offloaded with Nezha")
+    print(f"  state           : {handle.state.value}")
+    print(f"  rule tables     : {profile.table_memory_bytes // 1024} KB "
+          f"moved to {len(handle.frontends)} FEs (scaled from "
+          f"{profile.table_memory_prod // (1024 * 1024)} MB production)")
+
+    before = lb.responses_returned
+    client_transaction(1)
+    engine.run(until=engine.now + 1.0)
+    print(f"  transactions after offload: "
+          f"{lb.responses_returned - before} completed")
+    print(f"  BE TX relayed   : {handle.backend.stats.tx_relayed}")
+    print(f"  BE RX from FEs  : {handle.backend.stats.rx_from_fe}")
+    print("\nThe LB keeps serving through the BE/FE split, and the RS "
+          "responses still return through the recorded overlay source.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Comparison baselines.
+
+* The **traditional local architecture** is the library default
+  (``LocalDatapath``); helpers here measure it.
+* :class:`SiriusPool` models the Sirius design the paper contrasts
+  against (§2.3.3, §8): a dedicated DPU pool with primary/backup in-line
+  state replication (packet ping-pong halves new-connection capacity) and
+  bucket-based load migration (state transfer needed for long-lived
+  flows).
+"""
+
+from repro.baselines.sirius import BucketMigration, SiriusPool
+
+__all__ = ["SiriusPool", "BucketMigration"]

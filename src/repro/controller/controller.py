@@ -1,0 +1,306 @@
+"""The Nezha controller: the reconciliation loop of Fig 8.
+
+Every poll interval the controller examines each registered vSwitch:
+
+* **offload** — utilization above the offload threshold (70 %): offload
+  its hottest not-yet-offloaded vNICs (descending consumption of the
+  triggering resource) until the projection falls below the safe level;
+* **scale** — utilization above the scale threshold (40 %): if the load
+  is mostly *remote* (hosted FEs), scale those vNICs out to more FEs;
+  if mostly *local*, scale this vSwitch in (remove every FE it hosts and
+  exclude it from placement) — which may itself trigger scale-outs;
+* **fallback** — an offloaded vNIC whose FE-side usage is low returns to
+  local processing, but only when the BE's projected utilization stays
+  below the safe level;
+* **failover** — the health monitor reports a crashed FE host: its FEs
+  are removed at once and replacements added to keep at least 4 FEs.
+
+Nezha never scales in merely because FE utilization is low (App B.2):
+idle FEs cost nothing, and removing them would cause cache-miss lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.fabric.device import ServerNode
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRng
+from repro.sim.trace import Trace
+from repro.vswitch.vnic import Vnic
+from repro.vswitch.vswitch import VSwitch
+from repro.controller.gateway import Gateway, MappingLearner
+from repro.controller.monitor import HealthMonitor
+from repro.controller.placement import FePlacement
+from repro.core.offload import (NezhaOrchestrator, OffloadHandle,
+                                OffloadState)
+
+
+@dataclass
+class ControllerConfig:
+    poll_interval: float = 0.1
+    offload_threshold: float = 0.7      # trigger remote offloading
+    scale_threshold: float = 0.4        # trigger scale-out/-in (Fig 8)
+    safe_level: float = 0.5             # offload until projected below this
+    fallback_threshold: float = 0.1     # FE-side usage considered "idle"
+    fallback_polls: int = 20            # consecutive idle polls before fallback
+    initial_fes: int = 4                # App B.2: power of two, minimum viable
+    min_fes: int = 4
+    remote_dominant_fraction: float = 0.5
+    memory_offload_threshold: float = 0.7
+    enable_fallback: bool = True
+
+
+@dataclass
+class _NodeBook:
+    """Controller-side bookkeeping for one vSwitch."""
+
+    vswitch: VSwitch
+    last_pkt_counts: Dict[int, int] = field(default_factory=dict)
+    vnic_rates: Dict[int, float] = field(default_factory=dict)
+
+
+class NezhaController:
+    """Periodic reconciliation across a fleet of vSwitches."""
+
+    def __init__(self, engine: Engine, gateway: Gateway,
+                 orchestrator: NezhaOrchestrator, placement: FePlacement,
+                 config: Optional[ControllerConfig] = None,
+                 monitor: Optional[HealthMonitor] = None,
+                 trace: Optional[Trace] = None,
+                 rng: Optional[SeededRng] = None) -> None:
+        self.engine = engine
+        self.gateway = gateway
+        self.orchestrator = orchestrator
+        self.placement = placement
+        self.config = config or ControllerConfig()
+        self.monitor = monitor
+        self.trace = trace or Trace(lambda: engine.now)
+        self.rng = rng or SeededRng(0, "controller")
+        self.nodes: Dict[str, _NodeBook] = {}
+        self._fallback_idle_polls: Dict[int, int] = {}
+        self._started = False
+        self.offloads_triggered = 0
+        self.scale_outs = 0
+        self.scale_ins = 0
+        self.fallbacks = 0
+        self.failovers = 0
+        orchestrator.need_fe_callback = self._on_need_fes
+        if monitor is not None:
+            monitor.on_down = self._on_target_down
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, vswitch: VSwitch) -> None:
+        self.nodes[vswitch.name] = _NodeBook(vswitch)
+        self.placement.register(vswitch)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+
+        def loop():
+            while True:
+                self.reconcile()
+                yield self.engine.timeout(self.config.poll_interval)
+
+        self.engine.process(loop(), name="controller")
+
+    def reconcile(self) -> None:
+        """One reconciliation pass (callable directly from tests)."""
+        self._update_rates()
+        for book in list(self.nodes.values()):
+            vswitch = book.vswitch
+            if vswitch.crashed:
+                continue
+            cpu = vswitch.cpu_utilization()
+            mem = vswitch.memory_utilization()
+            if (cpu > self.config.offload_threshold
+                    or mem > self.config.memory_offload_threshold):
+                self._offload_hottest(book, by_memory=(
+                    mem > self.config.memory_offload_threshold
+                    and cpu <= self.config.offload_threshold))
+            elif cpu > self.config.scale_threshold:
+                self._scale(book, cpu)
+        if self.config.enable_fallback:
+            self._consider_fallbacks()
+
+    # -- per-vNIC telemetry -------------------------------------------------------------
+
+    def _update_rates(self) -> None:
+        for book in self.nodes.values():
+            for vnic in book.vswitch.vnics.values():
+                total = vnic.tx_sent + vnic.rx_delivered
+                last = book.last_pkt_counts.get(vnic.vnic_id, 0)
+                book.vnic_rates[vnic.vnic_id] = (
+                    (total - last) / self.config.poll_interval)
+                book.last_pkt_counts[vnic.vnic_id] = total
+
+    # -- offload ---------------------------------------------------------------------------
+
+    def _offload_hottest(self, book: _NodeBook, by_memory: bool) -> None:
+        vswitch = book.vswitch
+        candidates = [v for v in vswitch.vnics.values()
+                      if not v.offloaded
+                      and v.vnic_id not in self.orchestrator.handles]
+        if not candidates:
+            return
+        if by_memory:
+            candidates.sort(key=lambda v: -v.table_memory_bytes())
+        else:
+            candidates.sort(
+                key=lambda v: -book.vnic_rates.get(v.vnic_id, 0.0))
+        # Offload in descending consumption until projected below safe.
+        utilization = (vswitch.memory_utilization() if by_memory
+                       else vswitch.cpu_utilization())
+        for vnic in candidates:
+            if utilization <= self.config.safe_level:
+                break
+            fes = self.placement.select(vswitch, self.config.initial_fes)
+            if not fes:
+                self.trace.emit("controller.no_fes", vnic=vnic.vnic_id)
+                return
+            self.orchestrator.offload(vnic, fes)
+            self.offloads_triggered += 1
+            self.trace.emit("controller.offload", vnic=vnic.vnic_id,
+                            vswitch=vswitch.name, by_memory=by_memory,
+                            fes=len(fes))
+            if self.monitor is not None:
+                for fe in fes:
+                    self.monitor.add_target(fe.server)
+            share = book.vnic_rates.get(vnic.vnic_id, 0.0)
+            total_rate = sum(book.vnic_rates.values()) or 1.0
+            utilization *= max(0.0, 1.0 - share / total_rate)
+
+    # -- scaling (Fig 8) ------------------------------------------------------------------------
+
+    def _scale(self, book: _NodeBook, cpu: float) -> None:
+        vswitch = book.vswitch
+        agent = self.orchestrator.agents.get(vswitch.name)
+        if agent is None or not agent.frontends:
+            return  # nothing Nezha-related to scale here
+        remote_share = agent.fe_load()
+        if remote_share >= self.config.remote_dominant_fraction:
+            # Remote offloading overloads this host: scale those vNICs out.
+            for vnic_id in list(agent.frontends):
+                handle = self.orchestrator.handles.get(vnic_id)
+                if handle is None:
+                    continue
+                new_fes = self.placement.select(
+                    handle.be_vswitch, 1,
+                    avoid={vs.server.name for vs in handle.fe_vswitches})
+                if new_fes:
+                    self.orchestrator.scale_out(handle, new_fes)
+                    self.scale_outs += 1
+                    self.trace.emit("controller.scale_out",
+                                    vnic=vnic_id, fe=new_fes[0].name)
+        else:
+            # Local traffic needs the resources: evict every hosted FE.
+            self.placement.exclude(vswitch)
+            removed = self.orchestrator.scale_in_vswitch(vswitch)
+            if removed:
+                self.scale_ins += 1
+                self.trace.emit("controller.scale_in",
+                                vswitch=vswitch.name, removed=removed)
+
+    # -- fallback --------------------------------------------------------------------------------
+
+    def _consider_fallbacks(self) -> None:
+        for handle in list(self.orchestrator.handles.values()):
+            if handle.state is not OffloadState.ACTIVE:
+                continue
+            vnic_id = handle.vnic.vnic_id
+            fe_usage = max((fe.vswitch.cpu_utilization()
+                            for fe in handle.frontends.values()),
+                           default=0.0)
+            if fe_usage < self.config.fallback_threshold:
+                self._fallback_idle_polls[vnic_id] = (
+                    self._fallback_idle_polls.get(vnic_id, 0) + 1)
+            else:
+                self._fallback_idle_polls[vnic_id] = 0
+            if self._fallback_idle_polls.get(vnic_id, 0) \
+                    < self.config.fallback_polls:
+                continue
+            be = handle.be_vswitch
+            # Only fall back when the BE can absorb the load afterwards.
+            projected = be.cpu_utilization() + fe_usage * len(handle.frontends)
+            if (projected < self.config.safe_level
+                    and be.mem.available() >= handle.vnic.table_memory_bytes()):
+                self.orchestrator.fallback(handle)
+                self.fallbacks += 1
+                self._fallback_idle_polls.pop(vnic_id, None)
+                self.trace.emit("controller.fallback", vnic=vnic_id)
+
+    # -- BE↔FE link watching (Appendix C.1) ---------------------------------------------------------
+
+    def watch_links(self, handle: OffloadHandle,
+                    interval: float = 2.0) -> List["object"]:
+        """Start BE↔FE mutual pinging for every FE of an offloaded vNIC.
+
+        The centralized monitor sees vSwitch health but not BE↔FE link
+        connectivity; mutual pings (at a much lower frequency) remove FEs
+        the BE cannot reach. Returns the started pingers.
+        """
+        from repro.controller.monitor import MutualPing
+        pingers = []
+        for fe_vswitch in handle.fe_vswitches:
+            ping = MutualPing(self.engine, handle.be_vswitch, fe_vswitch,
+                              interval=interval)
+
+            def on_unreachable(fe=fe_vswitch, p=None):
+                self.trace.emit("controller.link_failover",
+                                fe=fe.name, be=handle.be_vswitch.name)
+                self.placement.exclude(fe)
+                self.orchestrator.fail_fe(fe)
+
+            ping.on_unreachable = on_unreachable
+            ping.start()
+            pingers.append(ping)
+        return pingers
+
+    # -- failover ----------------------------------------------------------------------------------
+
+    def _on_target_down(self, server: ServerNode) -> None:
+        book = self.nodes.get(f"vs-{server.name}")
+        vswitch = book.vswitch if book is not None else None
+        if vswitch is None:
+            for candidate in self.nodes.values():
+                if candidate.vswitch.server is server:
+                    vswitch = candidate.vswitch
+                    break
+        if vswitch is None:
+            return
+        self.failovers += 1
+        self.trace.emit("controller.failover", vswitch=vswitch.name)
+        self.placement.exclude(vswitch)
+        self.orchestrator.fail_fe(vswitch)
+
+    def _on_need_fes(self, handle: OffloadHandle, shortfall: int) -> None:
+        new_fes = self.placement.select(
+            handle.be_vswitch, shortfall,
+            avoid={vs.server.name for vs in handle.fe_vswitches})
+        if new_fes:
+            self.orchestrator.scale_out(handle, new_fes)
+            if self.monitor is not None:
+                for fe in new_fes:
+                    self.monitor.add_target(fe.server)
+
+
+def bootstrap_learners(engine: Engine, gateway: Gateway,
+                       vswitches: List[VSwitch], interval: float = 0.2,
+                       rng: Optional[SeededRng] = None,
+                       start: bool = True) -> List[MappingLearner]:
+    """Create (and optionally start) a mapping learner per vSwitch."""
+    learners = []
+    for index, vswitch in enumerate(vswitches):
+        child = rng.child(f"learner{index}") if rng is not None else None
+        learner = MappingLearner(engine, vswitch, gateway,
+                                 interval=interval, rng=child)
+        if start:
+            learner.start()
+        learners.append(learner)
+    return learners

@@ -1,0 +1,136 @@
+"""The gateway: global vNIC-server mapping with on-demand learning.
+
+The global routing table is too large to push everywhere, so it lives at
+the gateway and vSwitches learn relevant entries periodically (200 ms
+interval in the paper). During a Nezha offload the controller rewrites a
+vNIC's entry to its FE locations; until each sender's next refresh, its
+packets still go directly to the BE — the dual-running stage exists
+precisely to absorb this window (§4.2.1, Fig 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addr import IPv4Address
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRng
+from repro.vswitch.rule_tables import Location, MappingEntry, MappingTable
+from repro.vswitch.vswitch import VSwitch
+
+
+class Gateway:
+    """Authoritative vNIC-server mapping, versioned per entry."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._entries: Dict[Tuple[int, int], MappingEntry] = {}
+        self._version = 0
+        self.learners: List["MappingLearner"] = []
+
+    # -- mutation ------------------------------------------------------------
+
+    def set_locations(self, vni: int, tenant_ip: IPv4Address,
+                      locations: List[Location]) -> int:
+        """Point a vNIC's entry at new serving locations; returns the new
+        entry version."""
+        self._version += 1
+        entry = MappingEntry(vni=vni, locations=locations,
+                             version=self._version)
+        self._entries[(vni, IPv4Address(tenant_ip).value)] = entry
+        return self._version
+
+    def remove(self, vni: int, tenant_ip: IPv4Address) -> None:
+        self._version += 1
+        self._entries.pop((vni, IPv4Address(tenant_ip).value), None)
+
+    # -- queries ----------------------------------------------------------------
+
+    def lookup(self, vni: int, tenant_ip: IPv4Address) -> Optional[MappingEntry]:
+        return self._entries.get((vni, IPv4Address(tenant_ip).value))
+
+    def snapshot(self, vni: int) -> Dict[Tuple[int, int], MappingEntry]:
+        """All current entries for one VPC (what a learner pulls)."""
+        return {key: entry for key, entry in self._entries.items()
+                if key[0] == vni}
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    # -- learner registry ------------------------------------------------------------
+
+    def register_learner(self, learner: "MappingLearner") -> None:
+        self.learners.append(learner)
+
+    def all_learners_synced(self, vni: int, version: int) -> bool:
+        """True once every learner that cares about ``vni`` has pulled a
+        snapshot at least as fresh as ``version``."""
+        return all(learner.synced_version(vni) >= version
+                   for learner in self.learners
+                   if learner.cares_about(vni))
+
+
+class MappingLearner:
+    """Periodic mapping-table learning for one vSwitch.
+
+    Each refresh copies the gateway's entries for every VNI the vSwitch's
+    vNICs belong to into those vNICs' mapping tables. Refreshes are
+    phase-offset per vSwitch (uniformly within the interval) — the source
+    of the 0–200 ms component of offload completion time.
+    """
+
+    def __init__(self, engine: Engine, vswitch: VSwitch, gateway: Gateway,
+                 interval: float = 0.2,
+                 rng: Optional[SeededRng] = None) -> None:
+        self.engine = engine
+        self.vswitch = vswitch
+        self.gateway = gateway
+        self.interval = interval
+        self._synced: Dict[int, int] = {}     # vni -> gateway version pulled
+        self._phase = (rng.uniform(0.0, interval) if rng is not None else 0.0)
+        self._started = False
+        gateway.register_learner(self)
+
+    def cares_about(self, vni: int) -> bool:
+        return any(vnic.vni == vni for vnic in self.vswitch.vnics.values())
+
+    def synced_version(self, vni: int) -> int:
+        return self._synced.get(vni, -1)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+
+        def loop():
+            yield self.engine.timeout(self._phase)
+            while True:
+                self.refresh()
+                yield self.engine.timeout(self.interval)
+
+        self.engine.process(loop(), name=f"learner-{self.vswitch.name}")
+
+    def refresh(self) -> None:
+        """Pull fresh entries for every VNI this vSwitch serves.
+
+        Entries whose version changed invalidate this vSwitch's cached
+        flows toward the moved address (Fig 1: rule-table changes delete
+        the associated cached flows, which regenerate via the slow path).
+        """
+        if self.vswitch.crashed:
+            return
+        current = self.gateway.version
+        for vnic in self.vswitch.vnics.values():
+            table = vnic.slow_path.table("vnic_server_mapping")
+            if not isinstance(table, MappingTable):
+                continue
+            for (vni, ip_value), entry in self.gateway.snapshot(vnic.vni).items():
+                old = table.lookup(vni, IPv4Address(ip_value))
+                table.set_entry(vni, IPv4Address(ip_value), entry)
+                if old is not None and old.version != entry.version:
+                    self.vswitch.session_table.invalidate_peer_flows(
+                        vni, ip_value)
+            self._synced[vnic.vni] = current
+            if not vnic.offloaded and vnic.host is not None:
+                vnic.host.recharge_vnic(vnic.vnic_id)

@@ -1,0 +1,68 @@
+"""Idle-vSwitch selection for FEs (§4.2.1, Appendix B.1).
+
+Selection goals: minimize latency (same ToR as the BE first, then widen),
+ensure headroom (utilization below a threshold), and keep the chosen set
+*similar* so flows of one vNIC see consistent service — we pick the
+lowest-utilization candidates within the closest distance tier that can
+satisfy the request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.fabric.topology import Topology
+from repro.vswitch.vswitch import VSwitch
+
+
+class FePlacement:
+    """Chooses FE-hosting vSwitches for a BE."""
+
+    def __init__(self, topo: Topology, vswitches: Dict[str, VSwitch],
+                 idle_threshold: float = 0.4) -> None:
+        self.topo = topo
+        self.vswitches = dict(vswitches)
+        self.idle_threshold = idle_threshold
+        # vSwitches that scaled in to protect local traffic: not eligible
+        # until the controller clears them.
+        self.excluded: Set[str] = set()
+
+    def register(self, vswitch: VSwitch) -> None:
+        self.vswitches[vswitch.server.name] = vswitch
+
+    def exclude(self, vswitch: VSwitch) -> None:
+        self.excluded.add(vswitch.server.name)
+
+    def readmit(self, vswitch: VSwitch) -> None:
+        self.excluded.discard(vswitch.server.name)
+
+    def _eligible(self, vswitch: VSwitch, be: VSwitch,
+                  avoid: Set[str]) -> bool:
+        name = vswitch.server.name
+        if vswitch is be or name in avoid or name in self.excluded:
+            return False
+        if vswitch.crashed:
+            return False
+        return vswitch.cpu_utilization() < self.idle_threshold
+
+    def select(self, be: VSwitch, count: int,
+               avoid: Optional[Set[str]] = None) -> List[VSwitch]:
+        """Pick up to ``count`` FEs: same-ToR tier first, then the rest,
+        lowest-utilization first within each tier."""
+        avoid = avoid or set()
+        be_server = be.server
+        tiers: Dict[int, List[VSwitch]] = {}
+        for vswitch in self.vswitches.values():
+            if not self._eligible(vswitch, be, avoid):
+                continue
+            distance = self.topo.hop_distance(be_server, vswitch.server)
+            tiers.setdefault(distance, []).append(vswitch)
+        chosen: List[VSwitch] = []
+        for distance in sorted(tiers):
+            candidates = sorted(tiers[distance],
+                                key=lambda vs: vs.cpu_utilization())
+            for vswitch in candidates:
+                if len(chosen) >= count:
+                    return chosen
+                chosen.append(vswitch)
+        return chosen

@@ -1,0 +1,36 @@
+"""Nezha: distributed vSwitch load sharing (the paper's contribution).
+
+The architecture (§3): a high-demand vNIC's **stateless** rule tables and
+cached flows move to *frontends* (FEs) on idle SmartNICs; per-session
+**state** stays on the *backend* (BE, the vNIC's own SmartNIC) in a single
+copy. Packets carry the missing input across the BE↔FE hop in NSH context
+TLVs, so no state is ever synchronized or transferred:
+
+* TX: BE stamps its state into the packet → FE combines it with cached
+  pre-actions and forwards to the real destination;
+* RX: senders reach an FE directly (hash-spread via the vNIC-server
+  table) → FE stamps pre-actions into the packet → BE combines them with
+  local state and delivers.
+
+Public surface::
+
+    from repro.core import NezhaAgent, NezhaOrchestrator, FeSelector
+"""
+
+from repro.core.agent import NezhaAgent
+from repro.core.header import NezhaMeta, build_nezha_hop
+from repro.core.load_balancer import FeSelector
+from repro.core.backend import BackendInstance
+from repro.core.frontend import FrontendInstance
+from repro.core.offload import NezhaOrchestrator, OffloadHandle
+
+__all__ = [
+    "NezhaAgent",
+    "NezhaMeta",
+    "build_nezha_hop",
+    "FeSelector",
+    "BackendInstance",
+    "FrontendInstance",
+    "NezhaOrchestrator",
+    "OffloadHandle",
+]

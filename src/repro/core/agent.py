@@ -1,0 +1,111 @@
+"""The Nezha agent: per-vSwitch registry and NSH demultiplexer.
+
+One agent per participating vSwitch. It owns the vSwitch's Nezha hooks:
+
+* the NSH handler (UDP/4790 arrivals) — routed by the DIRECTION TLV to a
+  hosted :class:`FrontendInstance` (TX-ward) or
+  :class:`BackendInstance` (RX-ward / notify);
+* the overlay fallback — VXLAN arrivals for vNICs *fronted* (not hosted)
+  here.
+
+A single vSwitch can simultaneously back its own hot vNICs and front other
+servers' — that is the whole point of reusing idle SmartNICs (Fig 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+from repro.core.backend import BackendInstance
+from repro.core.frontend import FrontendInstance
+from repro.core.header import (KIND_NOTIFY, KIND_RX, KIND_TX,
+                               unwrap_nezha_hop)
+from repro.vswitch.vswitch import VSwitch
+
+
+class NezhaAgent:
+    """Nezha participation for one vSwitch."""
+
+    def __init__(self, vswitch: VSwitch) -> None:
+        self.vswitch = vswitch
+        self.backends: Dict[int, BackendInstance] = {}
+        self.frontends: Dict[int, FrontendInstance] = {}
+        vswitch.nsh_handler = self._on_nsh
+        vswitch.overlay_fallback = self._on_overlay_fallback
+        self.unknown_nsh_drops = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register_backend(self, backend: BackendInstance) -> None:
+        vnic_id = backend.vnic.vnic_id
+        if vnic_id in self.backends:
+            raise ConfigError(f"BE for vNIC {vnic_id} already registered")
+        self.backends[vnic_id] = backend
+        self.vswitch.set_datapath(vnic_id, backend)
+
+    def unregister_backend(self, vnic_id: int) -> Optional[BackendInstance]:
+        backend = self.backends.pop(vnic_id, None)
+        if backend is not None:
+            self.vswitch.set_datapath(vnic_id, None)
+        return backend
+
+    def register_frontend(self, frontend: FrontendInstance) -> None:
+        vnic_id = frontend.vnic.vnic_id
+        if vnic_id in self.frontends:
+            raise ConfigError(f"FE for vNIC {vnic_id} already hosted here")
+        self.frontends[vnic_id] = frontend
+
+    def unregister_frontend(self, vnic_id: int) -> Optional[FrontendInstance]:
+        frontend = self.frontends.pop(vnic_id, None)
+        if frontend is not None:
+            frontend.teardown()
+        return frontend
+
+    # -- dataplane hooks ----------------------------------------------------------
+
+    def _on_nsh(self, packet: Packet) -> None:
+        meta = unwrap_nezha_hop(packet)
+        if meta.kind == KIND_TX:
+            frontend = self.frontends.get(meta.vnic_id)
+            if frontend is None:
+                self.unknown_nsh_drops += 1
+                return
+            frontend.handle_from_be(packet, meta)
+        elif meta.kind == KIND_RX:
+            backend = self.backends.get(meta.vnic_id)
+            if backend is None:
+                self.unknown_nsh_drops += 1
+                return
+            backend.handle_from_fe(packet, meta)
+        elif meta.kind == KIND_NOTIFY:
+            backend = self.backends.get(meta.vnic_id)
+            if backend is None:
+                self.unknown_nsh_drops += 1
+                return
+            backend.handle_notify(meta)
+        else:
+            self.unknown_nsh_drops += 1
+
+    def _on_overlay_fallback(self, packet: Packet, vni: int,
+                             overlay_src=None) -> bool:
+        for frontend in self.frontends.values():
+            if frontend.handle_overlay_rx(packet, vni, overlay_src):
+                return True
+        return False
+
+    def fe_load(self) -> float:
+        """Fraction of this vSwitch's recent CPU spent on hosted FEs.
+
+        Approximated by the share of session-table entries that are cached
+        flows for fronted vNICs — good enough for the controller's
+        "remote > local?" scale-in/out decision (Fig 8).
+        """
+        fronted_vnis = {fe.vnic.vni for fe in self.frontends.values()}
+        total = len(self.vswitch.session_table)
+        if total == 0:
+            return 1.0 if fronted_vnis else 0.0
+        remote = sum(1 for entry in self.vswitch.session_table
+                     if entry.vni in fronted_vnis)
+        return remote / total

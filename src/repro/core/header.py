@@ -1,0 +1,164 @@
+"""Nezha metadata carried in NSH context TLVs (§3.2.1).
+
+Three packet kinds cross the BE↔FE hop, distinguished by the DIRECTION TLV:
+
+* ``T`` — a TX data packet, BE→FE, carrying the session STATE;
+* ``R`` — an RX data packet, FE→BE, carrying PRE_ACTIONS and, when the NF
+  needs it, STATE_INIT info (e.g. the overlay source for stateful decap);
+* ``N`` — a designated notify packet, FE→BE, updating rule-table-involved
+  state (§3.2.2).
+
+:func:`build_nezha_hop` wraps an inner tenant packet in
+``Eth / IPv4 / UDP(4790) / NSH(meta)`` addressed to the peer's underlay.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DecodeError
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.ethernet import EthernetHeader
+from repro.net.five_tuple import FiveTuple
+from repro.net.ipv4 import IPv4Header
+from repro.net.nsh import NshContext, NshHeader
+from repro.net.packet import NSH_PORT, Packet
+from repro.net.udp import UdpHeader
+from repro.net.five_tuple import PROTO_UDP
+from repro.vswitch.actions import PreAction, PreActions, Verdict
+from repro.vswitch.rule_tables import Location
+from repro.vswitch.state import SessionState, StatsPolicy
+
+KIND_TX = b"T"
+KIND_RX = b"R"
+KIND_NOTIFY = b"N"
+
+
+def encode_pre_actions(pre: PreActions) -> bytes:
+    """Pack the fields the BE needs to finish RX processing (8 bytes)."""
+    return (pre.tx.verdict.to_wire() + pre.rx.verdict.to_wire()
+            + (b"\x01" if pre.tx.stateful_acl else b"\x00")
+            + (b"\x01" if pre.rx.stateful_acl else b"\x00")
+            + pre.rx.stats_policy.to_wire()
+            + bytes([pre.rx.qos_class & 0xFF])
+            + b"\x00\x00")
+
+
+def decode_pre_actions(data: bytes) -> PreActions:
+    if len(data) < 8:
+        raise DecodeError(f"pre-actions blob needs 8B, got {len(data)}")
+    tx = PreAction(verdict=Verdict.from_wire(data[0:1]),
+                   stateful_acl=bool(data[2]))
+    rx = PreAction(verdict=Verdict.from_wire(data[1:2]),
+                   stateful_acl=bool(data[3]),
+                   stats_policy=StatsPolicy.from_wire(data[4:5]),
+                   qos_class=data[5])
+    tx.stats_policy = rx.stats_policy
+    return PreActions(tx, rx)
+
+
+def encode_five_tuple(ft: FiveTuple) -> bytes:
+    return (ft.src_ip.to_bytes() + ft.dst_ip.to_bytes() + bytes([ft.proto])
+            + struct.pack("!HH", ft.src_port, ft.dst_port))
+
+
+def decode_five_tuple(data: bytes) -> FiveTuple:
+    if len(data) < 13:
+        raise DecodeError(f"five-tuple blob needs 13B, got {len(data)}")
+    src = IPv4Address.from_bytes(data[0:4])
+    dst = IPv4Address.from_bytes(data[4:8])
+    proto = data[8]
+    sport, dport = struct.unpack("!HH", data[9:13])
+    return FiveTuple(src, dst, proto, sport, dport)
+
+
+@dataclass
+class NezhaMeta:
+    """Decoded Nezha TLV bundle."""
+
+    kind: bytes                     # KIND_TX / KIND_RX / KIND_NOTIFY
+    vnic_id: int
+    state: Optional[SessionState] = None        # TX-ward
+    pre_actions: Optional[PreActions] = None    # RX-ward
+    overlay_src: Optional[IPv4Address] = None   # STATE_INIT for decap (§5.2)
+    notify_five_tuple: Optional[FiveTuple] = None
+    notify_policy: Optional[StatsPolicy] = None
+
+    def to_context(self) -> NshContext:
+        ctx = NshContext()
+        ctx.put(NshContext.DIRECTION, self.kind)
+        ctx.put(NshContext.VNIC, struct.pack("!I", self.vnic_id))
+        if self.state is not None:
+            ctx.put(NshContext.STATE, self.state.to_wire())
+        if self.pre_actions is not None:
+            ctx.put(NshContext.PRE_ACTIONS, encode_pre_actions(self.pre_actions))
+        if self.overlay_src is not None:
+            ctx.put(NshContext.STATE_INIT, self.overlay_src.to_bytes())
+        if self.notify_five_tuple is not None:
+            payload = encode_five_tuple(self.notify_five_tuple)
+            payload += (self.notify_policy or StatsPolicy.NONE).to_wire()
+            ctx.put(NshContext.NOTIFY, payload)
+        return ctx
+
+    @classmethod
+    def from_context(cls, ctx: NshContext) -> "NezhaMeta":
+        kind = ctx.get(NshContext.DIRECTION)
+        (vnic_id,) = struct.unpack("!I", ctx.get(NshContext.VNIC))
+        meta = cls(kind=kind, vnic_id=vnic_id)
+        if NshContext.STATE in ctx:
+            meta.state = SessionState.from_wire(ctx.get(NshContext.STATE))
+        if NshContext.PRE_ACTIONS in ctx:
+            meta.pre_actions = decode_pre_actions(
+                ctx.get(NshContext.PRE_ACTIONS))
+        if NshContext.STATE_INIT in ctx:
+            meta.overlay_src = IPv4Address.from_bytes(
+                ctx.get(NshContext.STATE_INIT))
+        if NshContext.NOTIFY in ctx:
+            blob = ctx.get(NshContext.NOTIFY)
+            meta.notify_five_tuple = decode_five_tuple(blob[:13])
+            meta.notify_policy = StatsPolicy.from_wire(blob[13:14])
+        return meta
+
+
+def build_nezha_hop(src_ip: IPv4Address, src_mac: MacAddress,
+                    dst: Location, meta: NezhaMeta,
+                    inner: Optional[Packet] = None,
+                    entropy: int = 0) -> Packet:
+    """Wrap ``inner`` (or nothing, for a notify) for the BE↔FE hop."""
+    nsh = NshHeader(spi=meta.vnic_id & 0xFFFFFF, si=255,
+                    context=meta.to_context())
+    inner_layers = list(inner.layers) if inner is not None else []
+    inner_payload = inner.payload if inner is not None else b""
+    inner_len = inner.wire_length if inner is not None else 0
+    udp_len = UdpHeader.wire_length + nsh.wire_length + inner_len
+    total = IPv4Header.wire_length + udp_len
+    src_port = 49152 + (entropy & 0x3FFF)
+    layers = [
+        EthernetHeader(dst.underlay_mac, src_mac),
+        IPv4Header(src_ip, dst.underlay_ip, PROTO_UDP, total_length=total),
+        UdpHeader(src_port, NSH_PORT, udp_len),
+        nsh,
+    ] + inner_layers
+    meta_dict = dict(inner.meta) if inner is not None else {}
+    return Packet(layers, inner_payload, meta_dict)
+
+
+def unwrap_nezha_hop(packet: Packet) -> NezhaMeta:
+    """Strip the hop encapsulation in place; returns the decoded metadata.
+
+    After this call the packet holds only the inner tenant layers (for a
+    notify, a placeholder NSH layer remains — notify packets carry no
+    tenant payload and are consumed by the BE).
+    """
+    nsh = packet.find(NshHeader)
+    if nsh is None:
+        raise DecodeError("not a Nezha hop packet (no NSH layer)")
+    meta = NezhaMeta.from_context(nsh.context)
+    index = packet.layers.index(nsh)
+    if index + 1 < len(packet.layers):
+        packet.layers[:index + 1] = []
+    else:
+        packet.layers[:index] = []  # keep the NSH layer as placeholder
+    return meta

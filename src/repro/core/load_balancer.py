@@ -1,0 +1,70 @@
+"""Flow-level FE selection: plain 5-tuple hashing (§3.2.3, §7.5).
+
+No consistent hashing (FEs are stateless, so reassignment just costs one
+rule-table lookup) and no symmetric hashing (state lives on the BE, which
+both directions traverse). Skew remedies from §7.5:
+
+* :meth:`FeSelector.reseed` — reconfigure the hash at the source side;
+* :meth:`FeSelector.pin` — give an elephant flow a dedicated FE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.net.five_tuple import FiveTuple
+from repro.vswitch.rule_tables import Location
+
+
+class FeSelector:
+    """Hash-based flow→FE assignment with reseed and pinning."""
+
+    def __init__(self, locations: Optional[List[Location]] = None,
+                 seed: int = 0) -> None:
+        self.locations: List[Location] = list(locations or [])
+        self.seed = seed
+        self._pins: Dict[FiveTuple, Location] = {}
+
+    def __len__(self) -> int:
+        return len(self.locations)
+
+    def add(self, location: Location) -> None:
+        if location in self.locations:
+            raise ConfigError(f"{location} already in the FE set")
+        self.locations.append(location)
+
+    def remove(self, location: Location) -> None:
+        self.locations.remove(location)
+        self._pins = {ft: loc for ft, loc in self._pins.items()
+                      if loc != location}
+
+    def pick(self, ft: FiveTuple) -> Location:
+        """The FE for this flow (pin override, else 5-tuple hash)."""
+        if not self.locations:
+            raise ConfigError("no FEs available")
+        pinned = self._pins.get(ft)
+        if pinned is not None:
+            return pinned
+        return self.locations[ft.hash(self.seed) % len(self.locations)]
+
+    def reseed(self, seed: int) -> None:
+        """Change the hash seed to redistribute flows (cache misses on the
+        new FEs simply re-run the rule-table lookup)."""
+        self.seed = seed
+
+    def pin(self, ft: FiveTuple, location: Location) -> None:
+        """Dedicate an FE to an elephant flow (§7.5)."""
+        if location not in self.locations:
+            raise ConfigError(f"{location} is not an active FE")
+        self._pins[ft] = location
+
+    def unpin(self, ft: FiveTuple) -> None:
+        self._pins.pop(ft, None)
+
+    def share_of(self, flows: List[FiveTuple]) -> Dict[Location, int]:
+        """How many of ``flows`` each FE would receive (skew diagnostics)."""
+        counts: Dict[Location, int] = {loc: 0 for loc in self.locations}
+        for ft in flows:
+            counts[self.pick(ft)] += 1
+        return counts

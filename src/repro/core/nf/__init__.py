@@ -1,0 +1,13 @@
+"""Case-study network functions on the split pipeline (§5).
+
+The split pipeline itself is NF-agnostic: ``process_pkt`` and the state
+machinery live in :mod:`repro.vswitch.actions`. These modules provide the
+configuration helpers and semantics documentation for the two NFs the
+paper walks through: stateful ACL (§5.1) and stateful decapsulation
+(§5.2).
+"""
+
+from repro.core.nf.stateful_acl import deny_unsolicited_ingress_acl
+from repro.core.nf.stateful_decap import enable_stateful_decap
+
+__all__ = ["deny_unsolicited_ingress_acl", "enable_stateful_decap"]

@@ -1,0 +1,46 @@
+"""Stateful ACL (§5.1) — configuration helper.
+
+The mechanics live in the shared pipeline: the ACL table writes
+per-direction *pre-action* verdicts into cached flows, the session state
+records the first-packet direction, and
+:func:`repro.vswitch.actions.resolve_verdict` combines them — identically
+on a local vSwitch, a Nezha FE (TX, state carried in the packet), and a
+Nezha BE (RX, pre-actions carried in the packet).
+
+This module provides the canonical policy from the paper's example: block
+unsolicited ingress while allowing responses to locally initiated
+connections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.addr import IPv4Address
+from repro.vswitch.actions import Direction, Verdict
+from repro.vswitch.rule_tables import AclRule, AclTable
+
+
+def deny_unsolicited_ingress_acl(
+        allow_ports: Optional[List[int]] = None,
+        src_prefix: Optional[Tuple[IPv4Address, int]] = None) -> AclTable:
+    """An ACL that drops ingress except for explicitly allowed service
+    ports; responses to egress connections pass via the stateful override.
+
+    ``allow_ports`` — destination ports open to unsolicited ingress.
+    ``src_prefix`` — optionally restrict even allowed ports to a source
+    prefix (e.g. a corporate range).
+    """
+    rules: List[AclRule] = []
+    priority = 1000
+    for port in allow_ports or []:
+        prefix, length = src_prefix if src_prefix else (None, 0)
+        rules.append(AclRule(
+            priority=priority, verdict=Verdict.ACCEPT,
+            direction=Direction.RX,
+            src_prefix=prefix, src_prefix_len=length,
+            dst_port_range=(port, port)))
+        priority -= 1
+    rules.append(AclRule(priority=1, verdict=Verdict.DROP,
+                         direction=Direction.RX))
+    return AclTable(rules)

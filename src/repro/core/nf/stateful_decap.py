@@ -1,0 +1,29 @@
+"""Stateful decapsulation (§5.2) — the load-balancer return path.
+
+When an L4 load balancer (LB) tunnels a client packet to a real server
+(RS), the RS's vSwitch must remember the *overlay source* (the LB's
+address) so the RS's response returns through the LB instead of going
+straight to the client (which would be dropped — the client's TCP
+connection is with the LB).
+
+Under Nezha the recording point moves: the FE sees the encapsulated
+packet (and thus the overlay source) but holds no state; it forwards the
+address in a STATE_INIT TLV and the BE stores it as
+``SessionState.decap_overlay_src``. On TX, the BE's state rides to the FE,
+which overrides the forwarding target with the recorded address.
+"""
+
+from __future__ import annotations
+
+from repro.vswitch.vnic import Vnic
+
+
+def enable_stateful_decap(vnic: Vnic) -> Vnic:
+    """Mark a vNIC (an RS vNIC behind an LB) as needing stateful decap.
+
+    Returns the vNIC for chaining. The flag is honoured by both the local
+    pipeline's Nezha split (FE records/uses the overlay source) and the
+    BE's state initialization.
+    """
+    vnic.stateful_decap = True
+    return vnic

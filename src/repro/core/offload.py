@@ -1,0 +1,439 @@
+"""Seamless vNIC offload, fallback, scaling, and FE failover (§4.2–4.4).
+
+The :class:`NezhaOrchestrator` executes the control-plane workflows as
+engine processes, with explicit dual-running stages:
+
+**Offload** (Fig 7): configure rule tables in the selected FEs → install
+the BE datapath (TX immediately relays through FEs; RX direct arrivals are
+still processed locally because the rule tables are *retained*) → update
+the gateway → wait until every learner has pulled the new entry plus an
+in-flight margin → release the BE's rule tables (final stage).
+
+**Fallback** is the mirror image, with the vNIC-server entry pointed back
+at the BE, and with session state preserved (STATE_ONLY entries are
+promoted lazily by the local datapath).
+
+**Scale-out/in** adds/removes FEs without consistent hashing: flows that
+land on a different FE after the change just re-run a rule-table lookup.
+
+**Failover**: a crashed FE is removed from the selector and the gateway
+immediately; if the FE set would fall below ``min_fes`` (4 in production,
+Appendix B.2), a replacement is requested.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import OffloadError, ResourceExhausted
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import SeededRng
+from repro.sim.trace import Trace
+from repro.vswitch.rule_tables import Location
+from repro.vswitch.vnic import Vnic
+from repro.vswitch.vswitch import VSwitch
+from repro.controller.gateway import Gateway
+from repro.controller.latency import ControlLatencyModel
+from repro.core.agent import NezhaAgent
+from repro.core.backend import BackendInstance
+from repro.core.frontend import FrontendInstance
+from repro.core.load_balancer import FeSelector
+
+
+class OffloadState(enum.Enum):
+    DUAL_RUNNING = "dual_running"
+    ACTIVE = "active"
+    FALLING_BACK = "falling_back"
+    INACTIVE = "inactive"
+
+
+@dataclass
+class OffloadConfig:
+    learning_interval: float = 0.2      # vSwitch mapping-learning period
+    inflight_margin: float = 0.02       # RTT allowance before table deletion
+    min_fes: int = 4                    # floor maintained by failover (§4.4)
+    sync_poll: float = 0.02             # learner-sync polling period
+    sync_timeout: float = 10.0          # give up waiting for laggard learners
+    latency: ControlLatencyModel = field(default_factory=ControlLatencyModel)
+
+
+class OffloadHandle:
+    """One offloaded vNIC: its BE, FE set, and lifecycle state."""
+
+    def __init__(self, vnic: Vnic, be_vswitch: VSwitch,
+                 backend: BackendInstance, selector: FeSelector) -> None:
+        self.vnic = vnic
+        self.be_vswitch = be_vswitch
+        self.backend = backend
+        self.selector = selector
+        self.frontends: Dict[Location, FrontendInstance] = {}
+        self.state = OffloadState.DUAL_RUNNING
+        self.triggered_at = 0.0
+        self.completed_at: Optional[float] = None
+        self.completion: Optional[Event] = None
+
+    @property
+    def fe_locations(self) -> List[Location]:
+        return list(self.frontends.keys())
+
+    @property
+    def fe_vswitches(self) -> List[VSwitch]:
+        return [fe.vswitch for fe in self.frontends.values()]
+
+    @property
+    def activation_time(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.triggered_at
+
+    def __repr__(self) -> str:
+        return (f"OffloadHandle(vnic={self.vnic.vnic_id}, "
+                f"{len(self.frontends)} FEs, {self.state.value})")
+
+
+class NezhaOrchestrator:
+    """Executes Nezha workflows across agents, the gateway, and the fabric."""
+
+    def __init__(self, engine: Engine, gateway: Gateway,
+                 rng: Optional[SeededRng] = None,
+                 config: Optional[OffloadConfig] = None,
+                 trace: Optional[Trace] = None) -> None:
+        self.engine = engine
+        self.gateway = gateway
+        self.rng = rng or SeededRng(0, "orchestrator")
+        self.config = config or OffloadConfig()
+        self.trace = trace or Trace(lambda: engine.now)
+        self.agents: Dict[str, NezhaAgent] = {}
+        self.handles: Dict[int, OffloadHandle] = {}
+        # Invoked when failover leaves a handle short of FEs; the
+        # controller wires this to its placement logic.
+        self.need_fe_callback: Optional[
+            Callable[[OffloadHandle, int], None]] = None
+
+    # -- agents ------------------------------------------------------------------
+
+    def agent_for(self, vswitch: VSwitch) -> NezhaAgent:
+        agent = self.agents.get(vswitch.name)
+        if agent is None:
+            agent = NezhaAgent(vswitch)
+            self.agents[vswitch.name] = agent
+        return agent
+
+    def _rpc_delay(self) -> float:
+        return self.config.latency.sample(self.rng)
+
+    # -- offload (§4.2.1) -----------------------------------------------------------
+
+    def offload(self, vnic: Vnic, fe_vswitches: List[VSwitch]) -> OffloadHandle:
+        """Start the two-stage offload; returns a handle whose
+        ``completion`` event fires when the final stage is reached."""
+        if vnic.vnic_id in self.handles:
+            raise OffloadError(f"vNIC {vnic.vnic_id} is already offloaded")
+        if vnic.host is None:
+            raise OffloadError(f"{vnic!r} is not hosted anywhere")
+        if not fe_vswitches:
+            raise OffloadError("offload needs at least one FE")
+        be_vswitch = vnic.host
+        if any(fe is be_vswitch for fe in fe_vswitches):
+            raise OffloadError("an FE cannot live on the BE's own vSwitch")
+
+        selector = FeSelector()
+        backend = BackendInstance(be_vswitch, vnic, selector)
+        handle = OffloadHandle(vnic, be_vswitch, backend, selector)
+        handle.triggered_at = self.engine.now
+        handle.completion = self.engine.event(f"offload-{vnic.vnic_id}")
+        self.handles[vnic.vnic_id] = handle
+        self.engine.process(self._offload_flow(handle, fe_vswitches),
+                            name=f"offload-{vnic.vnic_id}")
+        return handle
+
+    def _offload_flow(self, handle: OffloadHandle,
+                      fe_vswitches: List[VSwitch]):
+        vnic = handle.vnic
+        self.trace.emit("nezha.offload_trigger", vnic=vnic.vnic_id,
+                        be=handle.be_vswitch.name)
+        # 1. Configure the vNIC's rule tables in every selected FE.
+        yield self.engine.timeout(self._rpc_delay())
+        for fe_vswitch in fe_vswitches:
+            self._create_frontend(handle, fe_vswitch)
+        # 2. Configure BE/FE locations; the BE datapath takes over (TX now
+        #    relays via FEs; direct RX is processed with retained tables).
+        yield self.engine.timeout(self._rpc_delay())
+        be_agent = self.agent_for(handle.be_vswitch)
+        be_agent.register_backend(handle.backend)
+        handle.be_vswitch.session_table.demote_vni(vnic.vni)
+        # 3. Update the gateway's vNIC-server entry to the FE locations.
+        yield self.engine.timeout(self._rpc_delay())
+        version = self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
+                                             handle.fe_locations)
+        # Dual-running: wait for every learner, then the in-flight margin.
+        yield from self._await_sync(vnic.vni, version)
+        yield self.engine.timeout(self.config.inflight_margin)
+        # Final stage: delete local rule tables and cached flows.
+        handle.be_vswitch.release_vnic_tables(vnic.vnic_id)
+        handle.backend.tables_released = True
+        handle.state = OffloadState.ACTIVE
+        handle.completed_at = self.engine.now
+        self.trace.emit("nezha.offload_complete", vnic=vnic.vnic_id,
+                        duration=handle.activation_time,
+                        fes=len(handle.frontends))
+        handle.completion.succeed(handle)
+
+    def _create_frontend(self, handle: OffloadHandle,
+                         fe_vswitch: VSwitch) -> Optional[FrontendInstance]:
+        if any(fe.vswitch is fe_vswitch for fe in handle.frontends.values()):
+            # Concurrent scale-outs can race toward the same target; the
+            # second request is redundant, not an error.
+            self.trace.emit("nezha.fe_already_present",
+                            vnic=handle.vnic.vnic_id,
+                            vswitch=fe_vswitch.name)
+            return None
+        be_location = Location(handle.be_vswitch.server.underlay_ip,
+                               handle.be_vswitch.server.mac)
+        frontend = FrontendInstance(fe_vswitch, handle.vnic,
+                                    handle.vnic.slow_path, be_location)
+        self.agent_for(fe_vswitch).register_frontend(frontend)
+        location = frontend.location()
+        handle.frontends[location] = frontend
+        handle.selector.add(location)
+        return frontend
+
+    def _await_sync(self, vni: int, version: int):
+        deadline = self.engine.now + self.config.sync_timeout
+        while not self.gateway.all_learners_synced(vni, version):
+            if self.engine.now >= deadline:
+                self.trace.emit("nezha.sync_timeout", vni=vni)
+                break
+            yield self.engine.timeout(self.config.sync_poll)
+
+    # -- fallback (§4.2.2) ---------------------------------------------------------------
+
+    def fallback(self, handle: OffloadHandle) -> Event:
+        """Return the vNIC to purely local processing."""
+        if handle.state is not OffloadState.ACTIVE:
+            raise OffloadError(f"cannot fall back from {handle.state}")
+        handle.state = OffloadState.FALLING_BACK
+        done = self.engine.event(f"fallback-{handle.vnic.vnic_id}")
+        self.engine.process(self._fallback_flow(handle, done),
+                            name=f"fallback-{handle.vnic.vnic_id}")
+        return done
+
+    def _fallback_flow(self, handle: OffloadHandle, done: Event):
+        vnic = handle.vnic
+        self.trace.emit("nezha.fallback_trigger", vnic=vnic.vnic_id)
+        # 1. Restore the rule tables locally (dual-running, mirrored).
+        yield self.engine.timeout(self._rpc_delay())
+        try:
+            handle.be_vswitch.restore_vnic_tables(vnic.vnic_id)
+        except ResourceExhausted:
+            handle.state = OffloadState.ACTIVE
+            done.fail(OffloadError(
+                f"BE lacks memory to restore vNIC {vnic.vnic_id} tables"))
+            return
+        handle.backend.tables_released = False
+        # 2. Point the gateway back at the BE.
+        yield self.engine.timeout(self._rpc_delay())
+        be_location = Location(handle.be_vswitch.server.underlay_ip,
+                               handle.be_vswitch.server.mac)
+        version = self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
+                                             [be_location])
+        yield from self._await_sync(vnic.vni, version)
+        yield self.engine.timeout(self.config.inflight_margin)
+        # 3. Tear down FEs and the BE datapath; local processing resumes
+        #    with session state intact (lazy flow promotion).
+        for location in list(handle.frontends):
+            self._remove_frontend(handle, location, graceful=False)
+        self.agent_for(handle.be_vswitch).unregister_backend(vnic.vnic_id)
+        handle.state = OffloadState.INACTIVE
+        self.handles.pop(vnic.vnic_id, None)
+        self.trace.emit("nezha.fallback_complete", vnic=vnic.vnic_id)
+        done.succeed(handle)
+
+    # -- scaling (§4.3) ----------------------------------------------------------------------
+
+    def scale_out(self, handle: OffloadHandle,
+                  fe_vswitches: List[VSwitch]) -> Event:
+        """Add FEs to an offloaded vNIC."""
+        done = self.engine.event(f"scale-out-{handle.vnic.vnic_id}")
+
+        def flow():
+            yield self.engine.timeout(self._rpc_delay())
+            for fe_vswitch in fe_vswitches:
+                self._create_frontend(handle, fe_vswitch)
+            yield self.engine.timeout(self._rpc_delay())
+            version = self.gateway.set_locations(
+                handle.vnic.vni, handle.vnic.tenant_ip, handle.fe_locations)
+            yield from self._await_sync(handle.vnic.vni, version)
+            self.trace.emit("nezha.scale_out", vnic=handle.vnic.vnic_id,
+                            fes=len(handle.frontends))
+            done.succeed(handle)
+
+        self.engine.process(flow(), name=f"scale-out-{handle.vnic.vnic_id}")
+        return done
+
+    def scale_in_vswitch(self, vswitch: VSwitch) -> int:
+        """Remove every FE hosted on ``vswitch`` (it needs its resources
+        for local traffic); returns the number of FEs removed."""
+        removed = 0
+        for handle in list(self.handles.values()):
+            for location, frontend in list(handle.frontends.items()):
+                if frontend.vswitch is vswitch:
+                    self._retire_fe(handle, location, graceful=True)
+                    removed += 1
+            shortfall = self.config.min_fes - len(handle.frontends)
+            if shortfall > 0 and self.need_fe_callback is not None:
+                self.need_fe_callback(handle, shortfall)
+        if removed:
+            self.trace.emit("nezha.scale_in", vswitch=vswitch.name,
+                            removed=removed)
+        return removed
+
+    # -- failover (§4.4) -------------------------------------------------------------------------
+
+    def fail_fe(self, vswitch: VSwitch) -> int:
+        """A vSwitch hosting FEs crashed: remove its FEs everywhere,
+        immediately, and request replacements below the minimum."""
+        failed = 0
+        for handle in list(self.handles.values()):
+            for location, frontend in list(handle.frontends.items()):
+                if frontend.vswitch is vswitch:
+                    self._retire_fe(handle, location, graceful=False)
+                    failed += 1
+            shortfall = self.config.min_fes - len(handle.frontends)
+            if shortfall > 0 and self.need_fe_callback is not None:
+                self.need_fe_callback(handle, shortfall)
+        if failed:
+            self.trace.emit("nezha.failover", vswitch=vswitch.name,
+                            removed=failed)
+        return failed
+
+    # -- load-imbalance mitigation (§7.5) ---------------------------------------------------------------
+
+    def reseed_load_balancing(self, handle: OffloadHandle, seed: int) -> None:
+        """Reconfigure the source-side hash to redistribute flows.
+
+        Ongoing flows may land on FEs without their cached flow — each
+        such miss costs one rule-table lookup, nothing more (stateless
+        FEs). Applied both at the BE's selector and at the gateway entry
+        consumed by remote senders.
+        """
+        handle.selector.reseed(seed)
+        # Remote senders hash via their learned MappingEntry; the seed is
+        # a property of their mapping tables, refreshed by learning.
+        for learner in self.gateway.learners:
+            for vnic in learner.vswitch.vnics.values():
+                table = vnic.slow_path.table("vnic_server_mapping")
+                if table is not None:
+                    table.hash_seed = seed
+        self.trace.emit("nezha.reseed", vnic=handle.vnic.vnic_id, seed=seed)
+
+    def dedicate_fe(self, handle: OffloadHandle, ft,
+                    fe_vswitch: VSwitch) -> Event:
+        """Give an elephant flow a dedicated FE (§7.5): scale out onto
+        ``fe_vswitch`` (if not already an FE) and pin the flow there."""
+        existing = [loc for loc, fe in handle.frontends.items()
+                    if fe.vswitch is fe_vswitch]
+        if existing:
+            handle.selector.pin(ft, existing[0])
+            done = self.engine.event("dedicate-fe")
+            done.succeed(handle)
+            return done
+        done = self.scale_out(handle, [fe_vswitch])
+
+        def pin_after():
+            yield done
+            location = [loc for loc, fe in handle.frontends.items()
+                        if fe.vswitch is fe_vswitch][0]
+            handle.selector.pin(ft, location)
+            self.trace.emit("nezha.elephant_pinned",
+                            vnic=handle.vnic.vnic_id)
+
+        self.engine.process(pin_after(), name="dedicate-fe")
+        return done
+
+    # -- BE migration (§7.2: efficient VM live migration) ---------------------------------------------
+
+    def migrate_be(self, handle: OffloadHandle,
+                   new_vswitch: VSwitch) -> None:
+        """Move an offloaded vNIC's BE to another vSwitch.
+
+        Because the vNIC is offloaded, redirecting traffic needs only a
+        BE-location update on the FEs — no gateway/global-routing change,
+        no hairpin flows; the paper reports <1 ms to take effect. Session
+        states travel with the VM (the migration machinery copies them).
+        """
+        vnic = handle.vnic
+        old_vswitch = handle.be_vswitch
+        if new_vswitch is old_vswitch:
+            raise OffloadError("BE already lives there")
+        if any(fe.vswitch is new_vswitch
+               for fe in handle.frontends.values()):
+            raise OffloadError("target vSwitch hosts one of this vNIC's FEs")
+
+        # Move the vNIC (and its session states) to the new host.
+        self.agent_for(old_vswitch).unregister_backend(vnic.vnic_id)
+        old_entries = [entry for entry in old_vswitch.session_table
+                       if entry.vni == vnic.vni and entry.state is not None]
+        old_vswitch.session_table.remove_vni(vnic.vni)
+        old_vswitch.mem.free_all(f"be_meta:{vnic.vnic_id}")
+        old_vswitch.vnics.pop(vnic.vnic_id, None)
+        old_vswitch._vnic_by_addr.pop((vnic.vni, vnic.tenant_ip.value), None)
+
+        vnic.host = None
+        new_vswitch.vnics[vnic.vnic_id] = vnic
+        new_vswitch._vnic_by_addr[(vnic.vni, vnic.tenant_ip.value)] = vnic
+        vnic.host = new_vswitch
+        new_vswitch.mem.alloc(f"be_meta:{vnic.vnic_id}",
+                              new_vswitch.cost_model.vnic_be_metadata_bytes)
+        from repro.vswitch.session_table import EntryMode
+        for entry in old_entries:
+            new_vswitch.session_table.insert(
+                entry.vni, entry.five_tuple, None, entry.state,
+                self.engine.now, EntryMode.STATE_ONLY)
+
+        # New BE instance; FEs redirect by config.
+        backend = BackendInstance(new_vswitch, vnic, handle.selector)
+        backend.tables_released = True
+        backend.packet_level_lb = handle.backend.packet_level_lb
+        handle.backend = backend
+        handle.be_vswitch = new_vswitch
+        self.agent_for(new_vswitch).register_backend(backend)
+        new_location = Location(new_vswitch.server.underlay_ip,
+                                new_vswitch.server.mac)
+        for frontend in handle.frontends.values():
+            frontend.be_location = new_location
+        self.trace.emit("nezha.be_migrated", vnic=vnic.vnic_id,
+                        to=new_vswitch.name)
+
+    # -- shared FE retirement ------------------------------------------------------------------------
+
+    def _retire_fe(self, handle: OffloadHandle, location: Location,
+                   graceful: bool) -> None:
+        """Remove one FE: selector and gateway first, then (after a grace
+        period covering the learning interval + RTT, §4.3) the instance."""
+        handle.selector.remove(location)
+        frontend = handle.frontends.pop(location)
+        if handle.fe_locations:
+            self.gateway.set_locations(handle.vnic.vni,
+                                       handle.vnic.tenant_ip,
+                                       handle.fe_locations)
+        agent = self.agent_for(frontend.vswitch)
+        if graceful:
+            grace = self.config.learning_interval + self.config.inflight_margin
+
+            def later():
+                yield self.engine.timeout(grace)
+                agent.unregister_frontend(handle.vnic.vnic_id)
+
+            self.engine.process(later(), name="fe-retire")
+        else:
+            agent.unregister_frontend(handle.vnic.vnic_id)
+
+    def _remove_frontend(self, handle: OffloadHandle, location: Location,
+                         graceful: bool) -> None:
+        handle.selector.remove(location)
+        frontend = handle.frontends.pop(location)
+        self.agent_for(frontend.vswitch).unregister_frontend(
+            handle.vnic.vnic_id)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid configuration."""
+
+
+class ResourceExhausted(ReproError):
+    """A simulated resource (CPU budget, memory budget, table) ran out."""
+
+
+class PacketError(ReproError):
+    """A packet could not be encoded, decoded, or processed."""
+
+
+class DecodeError(PacketError):
+    """Raised when bytes on the wire do not parse as the expected header."""
+
+
+class TableError(ReproError):
+    """A rule/flow/session table operation failed."""
+
+
+class TableFull(TableError, ResourceExhausted):
+    """A table rejected an insert because its capacity is exhausted."""
+
+
+class ConfigError(ReproError):
+    """The control plane was asked to apply an inconsistent configuration."""
+
+
+class TopologyError(ReproError):
+    """The underlay topology is malformed or a path does not exist."""
+
+
+class OffloadError(ReproError):
+    """A Nezha offload/fallback/scaling workflow could not complete."""

@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per table/figure in the paper.
+
+Every module exposes ``run(...) -> ExperimentResult`` whose rows mirror
+the paper's artifact, with paper values attached for side-by-side
+comparison. The benchmarks in ``benchmarks/`` are thin wrappers that
+execute these and print the tables; EXPERIMENTS.md records the outcomes.
+
+| module   | paper artifact                                   |
+|----------|--------------------------------------------------|
+| fig2     | CPU of high-CPS VMs vs their vSwitches           |
+| fig3     | hotspot cause distribution                       |
+| fig4     | fleet CPU/memory utilization percentiles         |
+| table1   | normalized service-usage percentiles             |
+| fig9     | performance gain vs #FEs                         |
+| fig10    | CPS vs #vCPUs, with/without Nezha                |
+| fig11    | CPU utilization during offloading/scaling        |
+| fig12    | end-to-end latency vs load                       |
+| table3   | middlebox gains (LB / NAT / TR)                  |
+| table4   | offload activation completion times              |
+| fig13    | daily overloads before/after Nezha               |
+| fig14    | FE crash loss-rate surge and recovery            |
+| fig15    | average state size (variable-length potential)   |
+| table5   | deployment costs vs Sailfish                     |
+| tablea1  | rule-lookup throughput vs pkt size / #ACL rules  |
+| figa1    | VM migration downtime vs resources               |
+| appb2    | 30-day scale-out ratio                           |
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,151 @@
+"""Closed-form capacity model for the memory-bound capabilities.
+
+CPS is measured packet-by-packet in the DES; #concurrent flows and #vNICs
+are *memory-accounting* phenomena (§2.2.2), so their capacities follow
+directly from the byte model — computed here with the same constants the
+DES charges, at production scale (ratios are scale-free).
+
+Budget calibration (documented in EXPERIMENTS.md):
+
+* session-table budget ≈ 320 MB of the vSwitch's memory ("hundreds of MB
+  to a few GB for the session table", §2.2.2);
+* a full session entry is 160 B (96 B keys/pre-actions + 64 B state); a
+  BE state-only entry is 96 B (32 B key + 64 B state); an FE cached flow
+  is 96 B;
+* each FE grants a flow budget of (session budget + vNIC tables)/4, so
+  the remote side stops limiting #flows at exactly 4 FEs (Fig 9);
+* each FE grants ~4 GB for remote rule tables, equal to the local table
+  budget, making the #vNIC gain proportional to #FEs (Fig 9);
+* the 2 KB of BE metadata per offloaded vNIC caps the gain at
+  2 MB / 2 KB = 1000x (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.host.vm import VmCostModel
+from repro.vswitch.costs import GB, MB, CostModel
+from repro.vswitch.slow_path import SlowPath
+
+FULL_ENTRY_BYTES = 160       # 96B keys/pre-actions + 64B state
+STATE_ENTRY_BYTES = 96       # 32B key + 64B state (BE residue)
+FLOW_ENTRY_BYTES = 96        # FE cached flow (no state)
+
+
+@dataclass
+class CapacityModel:
+    """Capacity arithmetic shared by fig9 and table3."""
+
+    cost_model: CostModel = field(default_factory=CostModel.production)
+    vm_cost: VmCostModel = field(default_factory=VmCostModel)
+    vm_vcpus: int = 64
+    pkts_per_conn: int = 6                     # the CRR exchange
+    session_budget_bytes: int = 320 * MB
+    # The *offloaded* vNIC is a high-demand one: its rule tables are the
+    # O(100MB)+ kind (large VPCs need 200MB+ of vNIC-server entries alone,
+    # §2.2.2) — that is the memory Nezha frees for states.
+    vnic_table_bytes: int = 410 * MB
+    local_table_budget_bytes: int = 4 * GB
+    fe_table_grant_bytes: int = 4 * GB
+    fe_flow_grant_bytes: Optional[int] = None  # default: saturate at 4 FEs
+    flow_program_factor: float = 1.0           # chain-complexity multiplier
+    instance_cps_limit: Optional[float] = None  # overrides the VM model
+
+    def __post_init__(self) -> None:
+        if self.fe_flow_grant_bytes is None:
+            self.fe_flow_grant_bytes = (
+                self.session_budget_bytes + self.vnic_table_bytes) // 4
+
+    # -- CPS ----------------------------------------------------------------------
+
+    def vm_cps_limit(self) -> float:
+        if self.instance_cps_limit is not None:
+            return self.instance_cps_limit
+        return min(self.vm_cost.serial_cap(),
+                   self.vm_cost.parallel_cap(self.vm_vcpus))
+
+    def _per_packet_cycles(self) -> float:
+        cm = self.cost_model
+        return cm.fast_path_cycles + cm.encap_cycles + 64 * cm.cycles_per_byte
+
+    def local_conn_cycles(self, lookup_cycles: float) -> float:
+        cm = self.cost_model
+        return (lookup_cycles
+                + cm.flow_insert_cycles * self.flow_program_factor
+                + cm.state_insert_cycles
+                + self.pkts_per_conn * self._per_packet_cycles())
+
+    def fe_conn_cycles(self, lookup_cycles: float) -> float:
+        """Total FE-side cycles per connection. Bidirectional flows hash to
+        different FEs (§3.2.3), so the lookup+insert happens once per
+        direction."""
+        cm = self.cost_model
+        return (2 * (lookup_cycles
+                     + cm.flow_insert_cycles * self.flow_program_factor)
+                + self.pkts_per_conn * (self._per_packet_cycles()
+                                        + cm.state_encode_cycles))
+
+    def be_conn_cycles(self) -> float:
+        cm = self.cost_model
+        return (cm.be_state_insert_cycles
+                + self.pkts_per_conn * (cm.be_fastpath_cycles
+                                        + cm.state_encode_cycles
+                                        + 64 * cm.cycles_per_byte))
+
+    def baseline_cps(self, chain: Optional[SlowPath] = None,
+                     lookup_cycles: Optional[float] = None) -> float:
+        lookup = (lookup_cycles if lookup_cycles is not None
+                  else (chain.lookup_cost(64) if chain is not None
+                        else self.cost_model.lookup_cycles(5, 0, 64)))
+        vswitch_cap = self.cost_model.total_hz / self.local_conn_cycles(lookup)
+        return min(vswitch_cap, self.vm_cps_limit())
+
+    def nezha_cps(self, n_fes: int, chain: Optional[SlowPath] = None,
+                  lookup_cycles: Optional[float] = None) -> float:
+        lookup = (lookup_cycles if lookup_cycles is not None
+                  else (chain.lookup_cost(64) if chain is not None
+                        else self.cost_model.lookup_cycles(5, 0, 64)))
+        fe_cap = n_fes * self.cost_model.total_hz / self.fe_conn_cycles(lookup)
+        be_cap = self.cost_model.total_hz / self.be_conn_cycles()
+        return min(fe_cap, be_cap, self.vm_cps_limit())
+
+    def cps_gain(self, n_fes: int, **kwargs) -> float:
+        return self.nezha_cps(n_fes, **kwargs) / self.baseline_cps(**kwargs)
+
+    # -- #concurrent flows ---------------------------------------------------------------
+
+    def flows_baseline(self) -> int:
+        return self.session_budget_bytes // FULL_ENTRY_BYTES
+
+    def flows_nezha(self, n_fes: int) -> int:
+        local_states = ((self.session_budget_bytes + self.vnic_table_bytes)
+                        // STATE_ENTRY_BYTES)
+        remote_flows = (n_fes * self.fe_flow_grant_bytes
+                        // FLOW_ENTRY_BYTES)
+        return min(local_states, remote_flows)
+
+    def flows_gain(self, n_fes: int) -> float:
+        return self.flows_nezha(n_fes) / self.flows_baseline()
+
+    # -- #vNICs -------------------------------------------------------------------------------
+
+    def vnics_baseline(self) -> int:
+        return self.local_table_budget_bytes // self.vnic_table_bytes
+
+    def vnics_nezha(self, n_fes: int) -> int:
+        remote = n_fes * (self.fe_table_grant_bytes
+                          // self.vnic_table_bytes)
+        # The BE still pins 2KB metadata per vNIC (§6.2.1): 1000x ceiling.
+        be_meta_cap = (self.vnic_table_bytes
+                       // self.cost_model.vnic_be_metadata_bytes
+                       * self.vnics_baseline())
+        return min(remote, be_meta_cap)
+
+    def vnics_gain(self, n_fes: int) -> float:
+        return self.vnics_nezha(n_fes) / self.vnics_baseline()
+
+    def vnics_theoretical_max_gain(self, table_bytes: int = 2 * MB) -> float:
+        """§6.2.1: 2MB minimum table / 2KB BE metadata = 1000x."""
+        return table_bytes / self.cost_model.vnic_be_metadata_bytes

@@ -1,0 +1,40 @@
+"""Fig 4: CPU/memory utilization CDF over O(10K) vSwitches.
+
+Paper percentiles — CPU: avg≈5 %, P90 15 %, P99 41 %, P999 68 %,
+P9999 90 %; memory: avg≈1.5 %, P90 15 %, P99 34 %, P999 93 %, P9999 96 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.metrics.percentiles import percentile_summary
+from repro.sim.rng import SeededRng
+from repro.workloads.fleet import FleetModel
+
+PAPER_CPU = {"avg": 0.05, "P90": 0.15, "P99": 0.41, "P999": 0.68,
+             "P9999": 0.90}
+PAPER_MEM = {"avg": 0.015, "P90": 0.15, "P99": 0.34, "P999": 0.93,
+             "P9999": 0.96}
+
+
+def run(n_vswitches: int = 100_000, seed: int = 0) -> ExperimentResult:
+    model = FleetModel(n_vswitches=n_vswitches, rng=SeededRng(seed, "fig4"))
+    cpus, mems = model.sample_utilizations()
+    cpu_summary = percentile_summary(cpus)
+    mem_summary = percentile_summary(mems)
+    result = ExperimentResult(
+        name="fig4",
+        description="fleet CPU/memory utilization percentiles",
+        columns=["percentile", "cpu_measured", "cpu_paper",
+                 "mem_measured", "mem_paper"],
+    )
+    for label in ("avg", "P90", "P99", "P999", "P9999"):
+        result.add_row(percentile=label,
+                       cpu_measured=cpu_summary[label],
+                       cpu_paper=PAPER_CPU[label],
+                       mem_measured=mem_summary[label],
+                       mem_paper=PAPER_MEM[label])
+    result.note("the paper's stated memory average (~1.5%) is slightly "
+                "inconsistent with its own P90 (15%); the model favors the "
+                "percentile anchors")
+    return result

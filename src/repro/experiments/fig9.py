@@ -1,0 +1,72 @@
+"""Fig 9: performance gain under different #FEs.
+
+Paper: CPS improvement grows with #FEs up to 4, then plateaus ≈3.3x (the
+VM kernel becomes the bottleneck); #concurrent flows saturates ≈3.8x;
+#vNICs grows proportionally to #FEs.
+
+CPS is measured packet-by-packet: the testbed offloads the server vNIC to
+k FEs and drives closed-loop TCP_CRR from four client servers. The two
+memory-bound capabilities come from the byte-accounting capacity model
+(their constants are the ones the DES charges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.capacity import CapacityModel
+from repro.experiments.common import ExperimentResult
+from repro.experiments.testbed import SERVER_IP, build_testbed
+from repro.workloads import ClosedLoopCrr, measure_cps
+
+PAPER_CPS_GAIN = {0: 1.0, 1: 1.6, 2: 2.4, 4: 3.3, 6: 3.3, 8: 3.3, 12: 3.3}
+PAPER_FLOWS_GAIN = {0: 1.0, 1: 1.3, 2: 2.2, 4: 3.8, 6: 3.8, 8: 3.8, 12: 3.8}
+PAPER_VNICS_GAIN_PER_FE = 1.0  # "proportional to #FEs"
+
+
+def measure_cps_at(n_fes: int, duration: float, warmup: float,
+                   concurrency_per_client: int, seed: int) -> float:
+    testbed = build_testbed(n_clients=4, n_idle=max(4, n_fes), seed=seed)
+    if n_fes:
+        handle = testbed.orchestrator.offload(
+            testbed.server_vnic, testbed.idle_vswitches[:n_fes])
+        testbed.run(1.0)
+        if handle.completed_at is None:
+            raise RuntimeError("offload did not reach the final stage")
+    loops = [ClosedLoopCrr(testbed.engine, app, SERVER_IP, 80,
+                           concurrency=concurrency_per_client).start()
+             for app in testbed.client_apps]
+    return measure_cps(testbed.engine, loops, warmup, duration)
+
+
+def run(fe_counts: Sequence[int] = (0, 1, 2, 4, 8),
+        duration: float = 1.5, warmup: float = 1.0,
+        concurrency_per_client: int = 96, seed: int = 0) -> ExperimentResult:
+    capacity = CapacityModel()
+    cps: Dict[int, float] = {}
+    for n_fes in fe_counts:
+        cps[n_fes] = measure_cps_at(n_fes, duration, warmup,
+                                    concurrency_per_client, seed)
+    baseline = cps.get(0) or next(iter(cps.values()))
+
+    result = ExperimentResult(
+        name="fig9",
+        description="performance gain vs #FEs (CPS measured, "
+                    "flows/#vNICs from the memory model)",
+        columns=["n_fes", "cps", "cps_gain", "paper_cps_gain",
+                 "flows_gain", "paper_flows_gain", "vnics_gain"],
+    )
+    for n_fes in fe_counts:
+        result.add_row(
+            n_fes=n_fes,
+            cps=cps[n_fes],
+            cps_gain=cps[n_fes] / baseline,
+            paper_cps_gain=PAPER_CPS_GAIN.get(n_fes, 3.3),
+            flows_gain=capacity.flows_gain(n_fes) if n_fes else 1.0,
+            paper_flows_gain=PAPER_FLOWS_GAIN.get(n_fes, 3.8),
+            vnics_gain=capacity.vnics_gain(n_fes) if n_fes else 1.0,
+        )
+    result.note("CPS saturation comes from the VM kernel lock; flows "
+                "saturation from local state memory; #vNICs grows with "
+                "the FE table grants (slope 1 per FE)")
+    return result

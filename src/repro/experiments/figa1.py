@@ -1,0 +1,43 @@
+"""Fig A1: VM live-migration downtime vs vCPU count and memory.
+
+Paper: downtime grows with purchased resources; a 1024 GB VM's migration
+takes tens of minutes end to end — the cost Nezha's 2 s remote offloading
+avoids (§7.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.sim.rng import SeededRng
+from repro.workloads.fleet import FleetModel
+
+VCPU_POINTS = (4, 8, 16, 32, 64, 128)
+MEMORY_POINTS_GB = (16, 32, 64, 128, 256, 512, 1024)
+
+
+def run(samples_per_point: int = 200, seed: int = 0) -> ExperimentResult:
+    rng = SeededRng(seed, "figa1")
+    result = ExperimentResult(
+        name="figa1",
+        description="VM migration downtime (s) vs resources",
+        columns=["dimension", "value", "avg_downtime_s",
+                 "avg_completion_s"],
+    )
+    for vcpus in VCPU_POINTS:
+        downs = [FleetModel.migration_downtime(vcpus, 16, rng)
+                 for _ in range(samples_per_point)]
+        result.add_row(dimension="vcpus", value=vcpus,
+                       avg_downtime_s=sum(downs) / len(downs),
+                       avg_completion_s=float("nan"))
+    for mem in MEMORY_POINTS_GB:
+        downs = [FleetModel.migration_downtime(16, mem, rng)
+                 for _ in range(samples_per_point)]
+        totals = [FleetModel.migration_completion_time(mem, rng)
+                  for _ in range(samples_per_point)]
+        result.add_row(dimension="memory_gb", value=mem,
+                       avg_downtime_s=sum(downs) / len(downs),
+                       avg_completion_s=sum(totals) / len(totals))
+    result.note("1024GB completion lands in the tens-of-minutes regime; "
+                "Nezha's offload alternative completes in ~2s (Table 4) "
+                "independent of VM size")
+    return result

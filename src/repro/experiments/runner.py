@@ -1,0 +1,65 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig9
+    python -m repro.experiments table4 --seed 3
+    python -m repro.experiments all --fast
+
+``all --fast`` runs only the model-based experiments (seconds); ``all``
+includes the packet-level ones (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List
+
+FAST_EXPERIMENTS = ["fig3", "fig4", "table1", "table3", "table4", "table5",
+                    "fig13", "fig15", "tablea1", "figa1", "appb2"]
+SLOW_EXPERIMENTS = ["fig2", "fig9", "fig10", "fig11", "fig12", "fig14"]
+ALL_EXPERIMENTS = FAST_EXPERIMENTS + SLOW_EXPERIMENTS
+
+
+def run_one(name: str, seed: int = 0) -> None:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    kwargs = {}
+    if "seed" in module.run.__code__.co_varnames:
+        kwargs["seed"] = seed
+    started = time.time()
+    result = module.run(**kwargs)
+    elapsed = time.time() - started
+    print(result.to_text())
+    print(f"[{name} finished in {elapsed:.1f}s]\n")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        help="experiment id (see 'list'), 'all', or 'list'")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fast", action="store_true",
+                        help="with 'all': skip the packet-level experiments")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("model-based (seconds):", ", ".join(FAST_EXPERIMENTS))
+        print("packet-level (minutes):", ", ".join(SLOW_EXPERIMENTS))
+        return 0
+    if args.experiment == "all":
+        names = FAST_EXPERIMENTS if args.fast else ALL_EXPERIMENTS
+        for name in names:
+            run_one(name, args.seed)
+        return 0
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    run_one(args.experiment, args.seed)
+    return 0

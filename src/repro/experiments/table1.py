@@ -1,0 +1,40 @@
+"""Table 1: normalized distribution of CPS / #flows / #vNICs usage.
+
+Usage normalized so the P9999 user = 100 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.metrics.percentiles import percentile
+from repro.sim.rng import SeededRng
+from repro.workloads.fleet import FleetModel, HotspotKind
+
+PAPER = {
+    "cps": {"P50": 0.0053, "P90": 0.0141, "P99": 0.0641, "P999": 0.1838,
+            "P9999": 1.0},
+    "flows": {"P50": 0.0078, "P90": 0.0236, "P99": 0.0639, "P999": 0.2917,
+              "P9999": 1.0},
+    "vnics": {"P50": 0.0065, "P90": 0.01, "P99": 0.06, "P999": 0.55,
+              "P9999": 1.0},
+}
+
+_LABEL_Q = {"P50": 50.0, "P90": 90.0, "P99": 99.0, "P999": 99.9,
+            "P9999": 99.99}
+
+
+def run(n_samples: int = 200_000, seed: int = 0) -> ExperimentResult:
+    model = FleetModel(n_vswitches=n_samples, rng=SeededRng(seed, "table1"))
+    result = ExperimentResult(
+        name="table1",
+        description="normalized service-usage percentiles (P9999 = 1.0)",
+        columns=["metric", "percentile", "measured", "paper"],
+    )
+    for kind in HotspotKind:
+        samples = model.sample_usage(kind)
+        norm = percentile(samples, 99.99)
+        for label, q in _LABEL_Q.items():
+            result.add_row(metric=kind.value, percentile=label,
+                           measured=percentile(samples, q) / norm,
+                           paper=PAPER[kind.value][label])
+    return result

@@ -1,0 +1,63 @@
+"""Table 5: deployment costs — Sailfish (new devices) vs Nezha (reuse).
+
+A cost-accounting table, not a measurement: the person-month figures are
+the paper's reported values; the scale-out timelines come from a small
+process model (device procurement + racking vs gray software release)
+whose parameters are stated below.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+# Paper-reported effort (person-months).
+SAILFISH_HW_PM = 100
+SAILFISH_SW_PM = 48
+SAILFISH_ITER_PM = 20
+NEZHA_HW_PM = 0
+NEZHA_SW_PM = 15
+NEZHA_ITER_PM = 0
+
+# Scale-out process model (days).
+DEVICE_PROCUREMENT_DAYS = (30, 90)       # with/without procurement: 1-3 months
+RACK_AND_CABLE_DAYS = 14
+GRAY_RELEASE_DAYS_PER_10K_VSWITCHES = 3  # cluster-level rollout waves
+
+
+def nezha_scale_out_days(cluster_vswitches: int = 10_000) -> float:
+    """1-7 days depending on cluster size (§6.4)."""
+    waves = max(1, cluster_vswitches // 10_000)
+    return min(7.0, max(1.0, waves * GRAY_RELEASE_DAYS_PER_10K_VSWITCHES))
+
+
+def sailfish_scale_out_days(procurement: bool = True) -> float:
+    base = DEVICE_PROCUREMENT_DAYS[1] if procurement else \
+        DEVICE_PROCUREMENT_DAYS[0]
+    return base + RACK_AND_CABLE_DAYS
+
+
+def run(cluster_vswitches: int = 10_000) -> ExperimentResult:
+    result = ExperimentResult(
+        name="table5",
+        description="deployment costs: Sailfish vs Nezha",
+        columns=["item", "sailfish", "nezha", "paper_sailfish",
+                 "paper_nezha"],
+    )
+    result.add_row(item="hardware development (P-M)",
+                   sailfish=SAILFISH_HW_PM, nezha=NEZHA_HW_PM,
+                   paper_sailfish=100, paper_nezha=0)
+    result.add_row(item="software development (P-M)",
+                   sailfish=SAILFISH_SW_PM, nezha=NEZHA_SW_PM,
+                   paper_sailfish=48, paper_nezha=15)
+    result.add_row(item="extra iteration effort (P-M)",
+                   sailfish=SAILFISH_ITER_PM, nezha=NEZHA_ITER_PM,
+                   paper_sailfish=20, paper_nezha=0)
+    result.add_row(item="scale-out time (days)",
+                   sailfish=sailfish_scale_out_days(),
+                   nezha=nezha_scale_out_days(cluster_vswitches),
+                   paper_sailfish="30-90", paper_nezha="1-7")
+    dev_ratio = (NEZHA_SW_PM
+                 / (SAILFISH_HW_PM + SAILFISH_SW_PM))
+    result.note(f"Nezha development effort = {dev_ratio:.0%} of Sailfish's "
+                "(paper: ~10%)")
+    return result

@@ -1,0 +1,25 @@
+"""Underlay data-center fabric.
+
+A graph of devices joined by full-duplex links with propagation latency and
+serialization delay. Switches forward by outer destination IP with ECMP
+across equal-cost next hops; servers are terminal devices that hand packets
+to whatever is attached (a SmartNIC vSwitch in this library).
+
+The topology builder produces the leaf-spine fabric the paper's testbed
+implies: servers under ToRs, ToRs meshed to spines. FE placement policy
+(§B.1: same-ToR first) uses :meth:`Topology.hop_distance`.
+"""
+
+from repro.fabric.link import Link, Port
+from repro.fabric.device import Device, ServerNode
+from repro.fabric.switch import UnderlaySwitch
+from repro.fabric.topology import Topology
+
+__all__ = [
+    "Link",
+    "Port",
+    "Device",
+    "ServerNode",
+    "UnderlaySwitch",
+    "Topology",
+]

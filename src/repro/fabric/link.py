@@ -1,0 +1,88 @@
+"""Full-duplex point-to-point links with latency and serialization delay."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TopologyError
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fabric.device import Device
+    from repro.net.packet import Packet
+
+
+class Port:
+    """One end of a link, attached to a device."""
+
+    __slots__ = ("device", "index", "link", "peer")
+
+    def __init__(self, device: "Device", index: int) -> None:
+        self.device = device
+        self.index = index
+        self.link: Optional[Link] = None
+        self.peer: Optional[Port] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    def send(self, packet: "Packet") -> bool:
+        """Transmit out this port; False if the port is disconnected."""
+        if self.link is None or self.peer is None:
+            return False
+        self.link.transmit(self, packet)
+        return True
+
+    def __repr__(self) -> str:
+        return f"Port({self.device.name}[{self.index}])"
+
+
+class Link:
+    """A full-duplex link: per-direction serialization plus propagation.
+
+    Delivery time for a packet entering at ``t`` is::
+
+        start = max(t, direction_busy_until)
+        arrive = start + wire_length*8/bps + latency
+
+    ``up`` (True) lets experiments take a link down to exercise the
+    BE↔FE mutual-ping path (Appendix C.1): transmissions on a downed link
+    are silently dropped, exactly like a dark fiber.
+    """
+
+    def __init__(self, engine: Engine, a: Port, b: Port,
+                 latency: float = 5e-6, gbps: float = 100.0) -> None:
+        if a.connected or b.connected:
+            raise TopologyError("port already connected")
+        if latency < 0 or gbps <= 0:
+            raise TopologyError("bad link parameters")
+        self.engine = engine
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bits_per_second = gbps * 1e9
+        self.up = True
+        self.packets_carried = 0
+        self.bytes_carried = 0
+        self.drops_down = 0
+        self._busy_until = {id(a): 0.0, id(b): 0.0}
+        a.link = b.link = self
+        a.peer, b.peer = b, a
+
+    def transmit(self, from_port: Port, packet: "Packet") -> None:
+        if not self.up:
+            self.drops_down += 1
+            return
+        now = self.engine.now
+        start = max(now, self._busy_until[id(from_port)])
+        tx_time = packet.wire_length * 8 / self.bits_per_second
+        self._busy_until[id(from_port)] = start + tx_time
+        arrive = start + tx_time + self.latency
+        self.packets_carried += 1
+        self.bytes_carried += packet.wire_length
+        to_port = from_port.peer
+        self.engine.call_at(arrive, to_port.device.receive, packet, to_port)
+
+    def set_up(self, up: bool) -> None:
+        self.up = up

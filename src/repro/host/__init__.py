@@ -1,0 +1,18 @@
+"""Hosts: servers, SmartNICs, and tenant VMs.
+
+* :class:`SmartNic` composes a fabric server node with its vSwitch and
+  tracks the non-network hypervisors sharing the card (storage, VMM),
+  which is why only a slice of the card serves virtual networking (§2.2.2).
+* :class:`Vm` models the tenant VM's kernel stack: per-connection work has
+  a serial (kernel-lock) component and a parallelizable component, which
+  produces the sub-linear CPS-vs-vCPU curve of Fig 10 and the "VM becomes
+  the bottleneck" endpoint the paper reports.
+* :class:`GuestTcp` gives VMs simple TCP endpoints (the TCP_CRR client
+  and server live in :mod:`repro.workloads`).
+"""
+
+from repro.host.smartnic import SmartNic
+from repro.host.vm import Vm, VmCostModel
+from repro.host.guest_tcp import GuestConnection, GuestTcp
+
+__all__ = ["SmartNic", "Vm", "VmCostModel", "GuestTcp", "GuestConnection"]

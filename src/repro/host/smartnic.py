@@ -1,0 +1,43 @@
+"""The SmartNIC: the card, its vSwitch slice, and its co-tenants."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fabric.device import ServerNode
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+from repro.vswitch.costs import CostModel
+from repro.vswitch.vswitch import VSwitch
+
+
+class SmartNic:
+    """A server's SmartNIC hosting a vSwitch among other hypervisors.
+
+    The vSwitch gets a fixed slice of the card (8 cores / 10 GB in the
+    paper's testbed, already encoded in :class:`CostModel`); the rest of
+    the card (storage network, container network, VMM helpers) is outside
+    the simulation but motivates why the slice is small.
+    """
+
+    def __init__(self, engine: Engine, server: ServerNode,
+                 cost_model: Optional[CostModel] = None,
+                 trace: Optional[Trace] = None) -> None:
+        self.engine = engine
+        self.server = server
+        self.cost_model = cost_model or CostModel.testbed()
+        self.vswitch = VSwitch(engine, server, self.cost_model,
+                               name=f"vs-{server.name}", trace=trace)
+
+    @property
+    def name(self) -> str:
+        return self.server.name
+
+    def cpu_utilization(self) -> float:
+        return self.vswitch.cpu_utilization()
+
+    def memory_utilization(self) -> float:
+        return self.vswitch.memory_utilization()
+
+    def __repr__(self) -> str:
+        return f"SmartNic({self.name})"

@@ -1,0 +1,177 @@
+"""Tenant VM model: the kernel stack that becomes Nezha's new bottleneck.
+
+The paper observes that once Nezha removes the vSwitch bottleneck, CPS is
+limited by "processing bottlenecks in the VM kernel (such as kernel locks
+and the limits on manageable connections)" (§6.2.2, Fig 10). We model each
+new connection as
+
+* a **serial** slice on a single kernel-lock resource (accept queue,
+  ehash/bind locks), and
+* a **parallel** slice schedulable on any vCPU;
+
+so connection throughput is ``min(1/serial, n_vcpu/(serial+parallel))`` —
+near-linear scaling at small vCPU counts, a hard plateau once the lock
+saturates. Per-packet costs ride on the vCPU pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+from repro.sim.engine import Engine
+from repro.sim.resources import CpuResource
+from repro.vswitch.vnic import Vnic
+
+
+@dataclass
+class VmCostModel:
+    """Per-vCPU frequency and kernel-path cycle costs."""
+
+    hz: float = 2.5e9
+    conn_serial_cycles: float = 8300.0     # under the global kernel lock
+    conn_parallel_cycles: float = 300000.0  # socket setup, app wakeups, TLS...
+    pkt_cycles: float = 3000.0              # per-packet kernel processing
+    max_backlog: float = 0.02               # accept-queue bound (seconds)
+
+    @classmethod
+    def testbed(cls, scale: float = 50.0) -> "VmCostModel":
+        """Match the vSwitch testbed scaling so ratios are preserved."""
+        model = cls()
+        model.hz = model.hz / scale
+        return model
+
+    def serial_cap(self) -> float:
+        """Theoretical lock-bound CPS ceiling."""
+        return self.hz / self.conn_serial_cycles
+
+    def parallel_cap(self, vcpus: int) -> float:
+        """Theoretical core-bound CPS ceiling."""
+        return vcpus * self.hz / (self.conn_serial_cycles
+                                  + self.conn_parallel_cycles)
+
+
+# PCI BDF space available to vNICs (§7.4): without SR-IOV/SIOV a VM has
+# 256 bus numbers, most consumed by storage/compute/crypto functions,
+# leaving "only a few dozen" for vNICs. SR-IOV/SIOV adds 256 more.
+BDF_FOR_VNICS_DEFAULT = 48
+BDF_FOR_VNICS_SRIOV = 48 + 256
+
+
+class Vm:
+    """A tenant VM: vCPUs, a kernel lock, attached vNICs, and apps."""
+
+    def __init__(self, engine: Engine, name: str, vcpus: int,
+                 cost_model: Optional[VmCostModel] = None,
+                 sriov: bool = False) -> None:
+        if vcpus < 1:
+            raise ConfigError("a VM needs at least one vCPU")
+        self.bdf_budget = (BDF_FOR_VNICS_SRIOV if sriov
+                           else BDF_FOR_VNICS_DEFAULT)
+        self.engine = engine
+        self.name = name
+        self.vcpus = vcpus
+        self.cost_model = cost_model or VmCostModel.testbed()
+        self.cpu = CpuResource(engine, vcpus, self.cost_model.hz,
+                               name=f"{name}.cpu", util_window=0.1)
+        self.kernel_lock = CpuResource(engine, 1, self.cost_model.hz,
+                                       name=f"{name}.lock", util_window=0.1)
+        self.vnics: List[Vnic] = []
+        # (vnic_id, local_port) -> app callback(packet)
+        self._listeners: Dict[tuple, Callable[[Packet], None]] = {}
+        self.kernel_drops = 0
+        self.conns_opened = 0
+
+    # -- vNIC plumbing -----------------------------------------------------------
+
+    def bdf_used(self) -> int:
+        """BDF numbers consumed: one per parent vNIC; child vNICs share
+        the parent's I/O adapter (§7.4)."""
+        return sum(1 for vnic in self.vnics if vnic.parent is None)
+
+    def attach_vnic(self, vnic: Vnic) -> None:
+        if vnic.parent is None and self.bdf_used() >= self.bdf_budget:
+            raise ConfigError(
+                f"{self.name}: out of BDF numbers ({self.bdf_budget}); "
+                "enable SR-IOV/SIOV or use child vNICs (§7.4)")
+        self.vnics.append(vnic)
+        vnic.attach_guest(lambda pkt, v=vnic: self._rx(v, pkt))
+
+    def listen(self, vnic: Vnic, port: int,
+               handler: Callable[[Packet], None]) -> None:
+        """Register an app handler for packets to (vnic, local port)."""
+        self._listeners[(vnic.vnic_id, port)] = handler
+
+    def unlisten(self, vnic: Vnic, port: int) -> None:
+        self._listeners.pop((vnic.vnic_id, port), None)
+
+    def _rx(self, vnic: Vnic, packet: Packet) -> None:
+        """Kernel receive: charge per-packet cost, then demux to the app."""
+        job = self.cpu.try_submit(self.cost_model.pkt_cycles,
+                                  self.cost_model.max_backlog)
+        if job is None:
+            self.kernel_drops += 1
+            return
+
+        def deliver():
+            yield job
+            l4 = packet.inner_l4()
+            dst_port = getattr(l4, "dst_port", 0)
+            handler = self._listeners.get((vnic.vnic_id, dst_port))
+            if handler is not None:
+                handler(packet)
+
+        self.engine.process(deliver(), name=f"{self.name}.rx")
+
+    # -- transmission -----------------------------------------------------------------
+
+    def send(self, vnic: Vnic, packet: Packet,
+             new_connection: bool = False,
+             on_sent: Optional[Callable[[], None]] = None) -> None:
+        """Charge the kernel cost, then hand the packet to the vSwitch.
+
+        ``new_connection=True`` adds the connection-establishment cost,
+        including the serial kernel-lock slice.
+        """
+        if vnic.host is None:
+            raise ConfigError(f"{vnic!r} is not hosted by any vSwitch")
+        cm = self.cost_model
+        jobs = []
+        if new_connection:
+            self.conns_opened += 1
+            lock_job = self.kernel_lock.try_submit(cm.conn_serial_cycles,
+                                                   cm.max_backlog)
+            if lock_job is None:
+                self.kernel_drops += 1
+                return
+            par_job = self.cpu.try_submit(cm.conn_parallel_cycles,
+                                          cm.max_backlog)
+            if par_job is None:
+                self.kernel_drops += 1
+                return
+            jobs = [lock_job, par_job]
+        else:
+            pkt_job = self.cpu.try_submit(cm.pkt_cycles, cm.max_backlog)
+            if pkt_job is None:
+                self.kernel_drops += 1
+                return
+            jobs = [pkt_job]
+
+        def transmit():
+            for job in jobs:
+                yield job
+            vnic.host.send_from_vnic(vnic, packet)
+            if on_sent is not None:
+                on_sent()
+
+        self.engine.process(transmit(), name=f"{self.name}.tx")
+
+    # -- telemetry ------------------------------------------------------------------------
+
+    def cpu_utilization(self) -> float:
+        return self.cpu.utilization()
+
+    def __repr__(self) -> str:
+        return f"Vm({self.name}, vcpus={self.vcpus})"

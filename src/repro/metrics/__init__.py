@@ -1,0 +1,8 @@
+"""Measurement utilities: percentiles/CDFs, time series, rate meters."""
+
+from repro.metrics.percentiles import (Cdf, percentile, percentile_summary)
+from repro.metrics.timeseries import TimeSeries
+from repro.metrics.counters import RateMeter
+
+__all__ = ["percentile", "percentile_summary", "Cdf", "TimeSeries",
+           "RateMeter"]

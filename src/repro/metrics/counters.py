@@ -1,0 +1,35 @@
+"""Rate measurement over sliding windows."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+
+class RateMeter:
+    """Events-per-second over a trailing window of event timestamps."""
+
+    def __init__(self, clock: Callable[[], float], window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._clock = clock
+        self.window = window
+        self._events: Deque[Tuple[float, float]] = deque()
+        self.total = 0.0
+
+    def mark(self, count: float = 1.0) -> None:
+        now = self._clock()
+        self._events.append((now, count))
+        self.total += count
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        lo = now - self.window
+        while self._events and self._events[0][0] < lo:
+            self._events.popleft()
+
+    def rate(self) -> float:
+        """Current events/second."""
+        now = self._clock()
+        self._prune(now)
+        return sum(count for _t, count in self._events) / self.window

@@ -1,0 +1,97 @@
+"""Percentile and CDF estimation (linear interpolation, numpy-free)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+# The percentile labels the paper reports throughout (Fig 4, Tables 1/4).
+STANDARD_LABELS: Tuple[Tuple[str, float], ...] = (
+    ("avg", -1.0),  # sentinel: arithmetic mean
+    ("P50", 50.0),
+    ("P90", 90.0),
+    ("P99", 99.0),
+    ("P999", 99.9),
+    ("P9999", 99.99),
+)
+
+
+def percentile(data: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100), linear interpolation between ranks."""
+    if not data:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q out of range: {q}")
+    ordered = sorted(data)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    # Clamp: float interpolation of near-equal neighbours can land a hair
+    # outside [lo, hi].
+    return min(max(value, ordered[lo]), ordered[hi])
+
+
+def percentile_summary(data: Sequence[float]) -> Dict[str, float]:
+    """avg/P50/P90/P99/P999/P9999 — the paper's standard row."""
+    summary = {}
+    for label, q in STANDARD_LABELS:
+        if q < 0:
+            summary[label] = sum(data) / len(data) if data else 0.0
+        else:
+            summary[label] = percentile(data, q) if data else 0.0
+    return summary
+
+
+class Cdf:
+    """An empirical CDF over accumulated samples."""
+
+    def __init__(self, samples: Iterable[float] = ()) -> None:
+        self._samples: List[float] = list(samples)
+        self._sorted = False
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        if not self._samples:
+            raise ValueError("empty CDF")
+        self._ensure_sorted()
+        import bisect
+        return bisect.bisect_right(self._samples, threshold) / len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        self._ensure_sorted()
+        return percentile(self._samples, q * 100.0)
+
+    def points(self, n: int = 100) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        self._ensure_sorted()
+        if not self._samples:
+            return []
+        step = max(1, len(self._samples) // n)
+        out = []
+        for index in range(0, len(self._samples), step):
+            out.append((self._samples[index],
+                        (index + 1) / len(self._samples)))
+        out.append((self._samples[-1], 1.0))
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        return percentile_summary(self._samples)

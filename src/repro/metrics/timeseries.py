@@ -1,0 +1,73 @@
+"""Simple (time, value) series with windowed aggregation."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+
+class TimeSeries:
+    """Append-only series of (time, value) points."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError("time went backwards")
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def between(self, start: float, end: float) -> List[Tuple[float, float]]:
+        return [(t, v) for t, v in self.points if start <= t <= end]
+
+    def mean(self, start: Optional[float] = None,
+             end: Optional[float] = None) -> float:
+        pts = self.points
+        if start is not None or end is not None:
+            pts = self.between(start if start is not None else float("-inf"),
+                               end if end is not None else float("inf"))
+        if not pts:
+            raise ValueError("no points in window")
+        return sum(v for _t, v in pts) / len(pts)
+
+    def max(self) -> float:
+        if not self.points:
+            raise ValueError("empty series")
+        return max(v for _t, v in self.points)
+
+    def resample(self, period: float,
+                 agg: Callable[[List[float]], float] = None
+                 ) -> List[Tuple[float, float]]:
+        """Bucket points into ``period``-wide bins (mean by default)."""
+        if not self.points:
+            return []
+        agg = agg or (lambda vals: sum(vals) / len(vals))
+        start = self.points[0][0]
+        buckets: List[List[float]] = []
+        times: List[float] = []
+        for t, v in self.points:
+            index = int((t - start) / period)
+            while len(buckets) <= index:
+                buckets.append([])
+                times.append(start + len(times) * period)
+            buckets[index].append(v)
+        return [(times[i], agg(vals)) for i, vals in enumerate(buckets)
+                if vals]
+
+
+def sample_periodically(engine, series: TimeSeries,
+                        fn: Callable[[], float], period: float) -> None:
+    """Spawn a process that records ``fn()`` into ``series`` every period."""
+
+    def loop():
+        while True:
+            series.record(engine.now, fn())
+            yield engine.timeout(period)
+
+    engine.process(loop(), name=f"sampler-{series.name}")

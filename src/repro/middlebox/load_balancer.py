@@ -1,0 +1,123 @@
+"""An L4 load balancer application (SLB, §6.3.1).
+
+Terminates client transactions on a VIP and proxies the request to a real
+server (RS) over *persistent* backend connections — the pattern that
+bloats session tables ("some L4 load balancers maintain persistent
+connections for each client", §2.2.2). RS vNICs should have stateful
+decap enabled (§5.2) so their responses return through the LB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.vm import Vm
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.sim.rng import SeededRng
+from repro.vswitch.vnic import Vnic
+
+
+class SlbApp:
+    """VIP-terminating proxy with per-RS persistent backend connections."""
+
+    def __init__(self, vm: Vm, vnic: Vnic, vip_port: int,
+                 real_servers: List[IPv4Address], rs_port: int = 8080,
+                 rng: Optional[SeededRng] = None) -> None:
+        self.vm = vm
+        self.vnic = vnic
+        self.vip_port = vip_port
+        self.real_servers = list(real_servers)
+        self.rs_port = rs_port
+        self.rng = rng or SeededRng(0, "slb")
+        # RS ip value -> (backend sport, established?)
+        self._backends: Dict[int, Tuple[int, bool]] = {}
+        self._next_backend_port = 30000
+        # backend sport -> pending client (ip, port) awaiting the response
+        self._pending: Dict[int, Tuple[IPv4Address, int]] = {}
+        self.client_transactions = 0
+        self.proxied_requests = 0
+        self.responses_returned = 0
+        vm.listen(vnic, vip_port, self._on_client_packet)
+
+    # -- client side --------------------------------------------------------------
+
+    def _on_client_packet(self, packet: Packet) -> None:
+        tcp = packet.find(TcpHeader)
+        if tcp is None:
+            return
+        client_ip = packet.inner_ipv4().src
+        if tcp.flags.syn and not tcp.flags.ack:
+            self.client_transactions += 1
+            self._send(client_ip, tcp.src_port, self.vip_port,
+                       TcpFlags.of("syn", "ack"))
+        elif tcp.flags.psh:
+            self._proxy_request(client_ip, tcp.src_port, packet.payload)
+        elif tcp.flags.fin:
+            self._send(client_ip, tcp.src_port, self.vip_port,
+                       TcpFlags.of("fin", "ack"))
+
+    def _send(self, dst_ip: IPv4Address, dst_port: int, src_port: int,
+              flags: TcpFlags, payload: bytes = b"",
+              new_connection: bool = False) -> None:
+        pkt = Packet.tcp(self.vnic.tenant_ip, dst_ip, src_port, dst_port,
+                         flags, payload)
+        self.vm.send(self.vnic, pkt, new_connection=new_connection)
+
+    # -- backend side ----------------------------------------------------------------
+
+    def _pick_rs(self) -> IPv4Address:
+        return self.rng.choice(self.real_servers)
+
+    def _backend_for(self, rs: IPv4Address) -> Tuple[int, bool]:
+        entry = self._backends.get(rs.value)
+        if entry is None:
+            sport = self._next_backend_port
+            self._next_backend_port += 1
+            self.vm.listen(self.vnic, sport,
+                           lambda pkt, p=sport: self._on_rs_packet(p, pkt))
+            self._backends[rs.value] = (sport, False)
+            # Open the persistent connection.
+            self._send(rs, self.rs_port, sport, TcpFlags.of("syn"),
+                       new_connection=True)
+            entry = self._backends[rs.value]
+        return entry
+
+    def _proxy_request(self, client_ip: IPv4Address, client_port: int,
+                       payload: bytes) -> None:
+        rs = self._pick_rs()
+        sport, established = self._backend_for(rs)
+        self._pending[sport] = (client_ip, client_port)
+        if established:
+            self.proxied_requests += 1
+            self._send(rs, self.rs_port, sport,
+                       TcpFlags.of("psh", "ack"), payload)
+        else:
+            # Queue behind the handshake; _on_rs_packet flushes it.
+            self._backends[rs.value] = (sport, False)
+            self._pending[sport] = (client_ip, client_port)
+
+    def _on_rs_packet(self, sport: int, packet: Packet) -> None:
+        tcp = packet.find(TcpHeader)
+        if tcp is None:
+            return
+        rs_ip = packet.inner_ipv4().src
+        if tcp.flags.syn and tcp.flags.ack:
+            self._backends[rs_ip.value] = (sport, True)
+            pending = self._pending.get(sport)
+            if pending is not None:
+                self.proxied_requests += 1
+                self._send(rs_ip, self.rs_port, sport,
+                           TcpFlags.of("psh", "ack"), b"q")
+        elif tcp.flags.psh:
+            pending = self._pending.pop(sport, None)
+            if pending is not None:
+                client_ip, client_port = pending
+                self.responses_returned += 1
+                self._send(client_ip, client_port, self.vip_port,
+                           TcpFlags.of("psh", "ack"), packet.payload)
+
+    @property
+    def persistent_backends(self) -> int:
+        return sum(1 for _sport, up in self._backends.values() if up)

@@ -1,0 +1,101 @@
+"""A NAT44 gateway application (§6.3.1).
+
+Translates internal clients to an external address with per-flow port
+mappings. Runs in a middlebox VM with two vNICs: internal (tenant VPC
+side) and external. The vSwitch serves both vNICs — which is what Nezha
+accelerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ResourceExhausted
+from repro.host.vm import Vm
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.vswitch.vnic import Vnic
+
+
+class NatGatewayApp:
+    """Port-translating NAT between an internal and an external vNIC."""
+
+    def __init__(self, vm: Vm, internal_vnic: Vnic, external_vnic: Vnic,
+                 port_range: Tuple[int, int] = (10000, 60000)) -> None:
+        self.vm = vm
+        self.internal = internal_vnic
+        self.external = external_vnic
+        self.port_lo, self.port_hi = port_range
+        self._next_port = self.port_lo
+        # (client ip value, client port, dst ip value, dst port) -> ext port
+        self._forward: Dict[Tuple[int, int, int, int], int] = {}
+        # ext port -> (client ip, client port, dst ip value, dst port)
+        self._reverse: Dict[int, Tuple[IPv4Address, int, int, int]] = {}
+        self.translations = 0
+        self.forwarded_out = 0
+        self.forwarded_in = 0
+        self.port_exhaustion_drops = 0
+        # The NAT accepts any inbound port on both vNICs.
+        internal_vnic.attach_guest(self._on_internal)
+        external_vnic.attach_guest(self._on_external)
+
+    # -- outbound ------------------------------------------------------------------
+
+    def _alloc_port(self) -> int:
+        for _ in range(self.port_hi - self.port_lo):
+            port = self._next_port
+            self._next_port += 1
+            if self._next_port >= self.port_hi:
+                self._next_port = self.port_lo
+            if port not in self._reverse:
+                return port
+        raise ResourceExhausted("NAT port range exhausted")
+
+    def _on_internal(self, packet: Packet) -> None:
+        """Client -> internet: rewrite source to the external address."""
+        tcp = packet.find(TcpHeader)
+        ip = packet.inner_ipv4()
+        if tcp is None:
+            return
+        key = (ip.src.value, tcp.src_port, ip.dst.value, tcp.dst_port)
+        ext_port = self._forward.get(key)
+        new_conn = False
+        if ext_port is None:
+            try:
+                ext_port = self._alloc_port()
+            except ResourceExhausted:
+                self.port_exhaustion_drops += 1
+                return
+            self._forward[key] = ext_port
+            self._reverse[ext_port] = (ip.src, tcp.src_port,
+                                       ip.dst.value, tcp.dst_port)
+            self.translations += 1
+            new_conn = True
+        out = Packet.tcp(self.external.tenant_ip, ip.dst, ext_port,
+                         tcp.dst_port, tcp.flags, packet.payload)
+        self.forwarded_out += 1
+        self.vm.send(self.external, out, new_connection=new_conn)
+
+    # -- inbound ---------------------------------------------------------------------
+
+    def _on_external(self, packet: Packet) -> None:
+        """Internet -> client: restore the original address."""
+        tcp = packet.find(TcpHeader)
+        if tcp is None:
+            return
+        mapping = self._reverse.get(tcp.dst_port)
+        if mapping is None:
+            return
+        client_ip, client_port, _dst_value, _dst_port = mapping
+        back = Packet.tcp(packet.inner_ipv4().src, client_ip,
+                          tcp.src_port, client_port, tcp.flags,
+                          packet.payload)
+        # Emit toward the client via the internal vNIC; the inner source
+        # stays the external peer's address, as real NAT return traffic does.
+        back.inner_ipv4().src = packet.inner_ipv4().src
+        self.forwarded_in += 1
+        self.vm.send(self.internal, back)
+
+    def active_translations(self) -> int:
+        return len(self._reverse)

@@ -1,0 +1,42 @@
+"""Wire formats and packet model.
+
+Byte-accurate codecs for the headers the simulated data plane uses:
+Ethernet, IPv4, TCP, UDP, ICMP, VXLAN, and NSH (RFC 8300) with Nezha
+metadata TLVs. A :class:`~repro.net.packet.Packet` is a stack of decoded
+headers plus an opaque payload length; it can be serialized to bytes and
+parsed back, which the property tests exercise heavily.
+"""
+
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.checksum import internet_checksum
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.five_tuple import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.net.icmp import IcmpHeader
+from repro.net.ipv4 import IPv4Header
+from repro.net.nsh import NshContext, NshHeader
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UdpHeader
+from repro.net.vxlan import VXLAN_PORT, VxlanHeader
+
+__all__ = [
+    "IPv4Address",
+    "MacAddress",
+    "internet_checksum",
+    "EthernetHeader",
+    "ETHERTYPE_IPV4",
+    "FiveTuple",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "IcmpHeader",
+    "IPv4Header",
+    "NshHeader",
+    "NshContext",
+    "Packet",
+    "TcpHeader",
+    "TcpFlags",
+    "UdpHeader",
+    "VxlanHeader",
+    "VXLAN_PORT",
+]

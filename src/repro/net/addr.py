@@ -1,0 +1,116 @@
+"""MAC and IPv4 address value types.
+
+Small immutable wrappers around integers: hashable, comparable, cheap to
+create in bulk (a simulation mints millions), with the usual text forms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from repro.errors import PacketError
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("value",)
+
+    BROADCAST_VALUE = (1 << 48) - 1
+
+    def __init__(self, value: Union[int, str, "MacAddress"]) -> None:
+        if isinstance(value, MacAddress):
+            value = value.value
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise PacketError(f"bad MAC address: {value!r}")
+            value = int(value.replace(":", ""), 16)
+        if not 0 <= value < (1 << 48):
+            raise PacketError(f"MAC address out of range: {value}")
+        self.value = value
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls(cls.BROADCAST_VALUE)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        if len(data) != 6:
+            raise PacketError(f"MAC needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        raw = f"{self.value:012x}"
+        return ":".join(raw[i:i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self.value))
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, str, "IPv4Address"]) -> None:
+        if isinstance(value, IPv4Address):
+            value = value.value
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise PacketError(f"bad IPv4 address: {value!r}")
+            acc = 0
+            for part in parts:
+                if not part.isdigit() or not 0 <= int(part) <= 255:
+                    raise PacketError(f"bad IPv4 address: {value!r}")
+                acc = (acc << 8) | int(part)
+            value = acc
+        if not 0 <= value < (1 << 32):
+            raise PacketError(f"IPv4 address out of range: {value}")
+        self.value = value
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Address":
+        if len(data) != 4:
+            raise PacketError(f"IPv4 needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def in_prefix(self, prefix: "IPv4Address", length: int) -> bool:
+        """True if this address falls inside ``prefix/length``."""
+        if not 0 <= length <= 32:
+            raise PacketError(f"bad prefix length: {length}")
+        if length == 0:
+            return True
+        shift = 32 - length
+        return (self.value >> shift) == (prefix.value >> shift)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24 & 255}.{v >> 16 & 255}.{v >> 8 & 255}.{v & 255}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv4Address) and self.value == other.value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash(("ip4", self.value))

@@ -1,0 +1,89 @@
+"""The 5-tuple flow key and its hashing.
+
+Nezha's load balancing across FEs is "only 5-tuple hashing" (paper §3.2.3);
+the per-session state lives on the BE, which bidirectional flows of the
+same session always traverse, so the hash does **not** need to be symmetric.
+We still provide :meth:`FiveTuple.reversed` and a canonical session key
+because the session table stores bidirectional flows in a single entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from repro.net.addr import IPv4Address
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+
+class FiveTuple:
+    """(src ip, dst ip, protocol, src port, dst port) — the flow key."""
+
+    __slots__ = ("src_ip", "dst_ip", "proto", "src_port", "dst_port")
+
+    def __init__(
+        self,
+        src_ip: IPv4Address,
+        dst_ip: IPv4Address,
+        proto: int,
+        src_port: int,
+        dst_port: int,
+    ) -> None:
+        self.src_ip = IPv4Address(src_ip)
+        self.dst_ip = IPv4Address(dst_ip)
+        self.proto = int(proto)
+        self.src_port = int(src_port)
+        self.dst_port = int(dst_port)
+
+    def reversed(self) -> "FiveTuple":
+        """The same session seen from the other direction."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.proto,
+                         self.dst_port, self.src_port)
+
+    def session_key(self) -> Tuple:
+        """Direction-independent key: both directions map to one session."""
+        a = (self.src_ip.value, self.src_port)
+        b = (self.dst_ip.value, self.dst_port)
+        lo, hi = (a, b) if a <= b else (b, a)
+        return (self.proto, lo, hi)
+
+    def hash(self, seed: int = 0) -> int:
+        """Stable 64-bit flow hash used to pick an FE.
+
+        Deterministic across processes (unlike built-in ``hash``), and
+        reseedable: §7.5 reconfigures the hash function at the source side
+        to fix skew, which we model by changing ``seed``.
+        """
+        blob = (
+            seed.to_bytes(8, "big", signed=False)
+            + self.src_ip.to_bytes()
+            + self.dst_ip.to_bytes()
+            + bytes([self.proto])
+            + self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+        )
+        return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FiveTuple)
+            and self.src_ip == other.src_ip
+            and self.dst_ip == other.dst_ip
+            and self.proto == other.proto
+            and self.src_port == other.src_port
+            and self.dst_port == other.dst_port
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src_ip, self.dst_ip, self.proto,
+                     self.src_port, self.dst_port))
+
+    def __repr__(self) -> str:
+        proto = _PROTO_NAMES.get(self.proto, str(self.proto))
+        return (f"FiveTuple({self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port} {proto})")

@@ -1,0 +1,267 @@
+"""The packet: a stack of decoded headers plus a payload.
+
+Packets traverse the simulation as structured objects (no per-hop
+serialization cost), but :meth:`Packet.encode` / :meth:`Packet.decode`
+produce and parse real bytes, so the wire formats stay honest — the
+property tests round-trip random packets through both.
+
+Header stacking conventions (outer → inner):
+
+* plain overlay transport: ``Eth / IPv4 / UDP(4789) / VXLAN / Eth / IPv4 / L4``
+* Nezha BE↔FE hop:        ``Eth / IPv4 / UDP(4790) / NSH(ctx) / IPv4 / L4``
+
+``meta`` is a free-form dict for simulation bookkeeping (timestamps, ids);
+it never hits the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type, TypeVar, Union
+
+from repro.errors import DecodeError, PacketError
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.five_tuple import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.net.icmp import IcmpHeader
+from repro.net.ipv4 import IPv4Header
+from repro.net.nsh import NEXT_PROTO_ETHERNET, NEXT_PROTO_IPV4, NshHeader
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UdpHeader
+from repro.net.vxlan import VXLAN_PORT, VxlanHeader
+
+NSH_PORT = 4790  # VXLAN-GPE port, next-protocol NSH
+
+Header = Union[EthernetHeader, IPv4Header, TcpHeader, UdpHeader,
+               IcmpHeader, VxlanHeader, NshHeader]
+H = TypeVar("H")
+
+
+class Packet:
+    """An ordered header stack (outer first) and a payload."""
+
+    __slots__ = ("layers", "payload", "meta")
+
+    def __init__(self, layers: List[Header], payload: bytes = b"",
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        if not layers:
+            raise PacketError("a packet needs at least one header")
+        self.layers: List[Header] = list(layers)
+        self.payload = payload
+        self.meta: Dict[str, Any] = meta if meta is not None else {}
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def tcp(cls, src_ip: IPv4Address, dst_ip: IPv4Address,
+            src_port: int, dst_port: int, flags: TcpFlags = None,
+            payload: bytes = b"", seq: int = 0, ack_num: int = 0) -> "Packet":
+        """A bare IPv4/TCP packet (no Ethernet), as a VM's vNIC emits it."""
+        total = IPv4Header.wire_length + TcpHeader.wire_length + len(payload)
+        ip = IPv4Header(src_ip, dst_ip, PROTO_TCP, total_length=total)
+        tcp = TcpHeader(src_port, dst_port, seq=seq, ack_num=ack_num, flags=flags)
+        return cls([ip, tcp], payload)
+
+    @classmethod
+    def udp(cls, src_ip: IPv4Address, dst_ip: IPv4Address,
+            src_port: int, dst_port: int, payload: bytes = b"") -> "Packet":
+        total = IPv4Header.wire_length + UdpHeader.wire_length + len(payload)
+        ip = IPv4Header(src_ip, dst_ip, PROTO_UDP, total_length=total)
+        udp = UdpHeader(src_port, dst_port, UdpHeader.wire_length + len(payload))
+        return cls([ip, udp], payload)
+
+    @classmethod
+    def icmp_echo(cls, src_ip: IPv4Address, dst_ip: IPv4Address,
+                  identifier: int = 0, sequence: int = 0,
+                  reply: bool = False) -> "Packet":
+        from repro.net.icmp import ECHO_REPLY, ECHO_REQUEST
+        total = IPv4Header.wire_length + IcmpHeader.wire_length
+        ip = IPv4Header(src_ip, dst_ip, PROTO_ICMP, total_length=total)
+        icmp = IcmpHeader(ECHO_REPLY if reply else ECHO_REQUEST, 0,
+                          identifier, sequence)
+        return cls([ip, icmp], b"")
+
+    # -- header access --------------------------------------------------------
+
+    def find(self, header_type: Type[H], nth: int = 0) -> Optional[H]:
+        """The ``nth`` header of the given type, outermost first."""
+        seen = 0
+        for layer in self.layers:
+            if isinstance(layer, header_type):
+                if seen == nth:
+                    return layer
+                seen += 1
+        return None
+
+    def expect(self, header_type: Type[H], nth: int = 0) -> H:
+        header = self.find(header_type, nth)
+        if header is None:
+            raise PacketError(f"packet lacks {header_type.__name__}[{nth}]")
+        return header
+
+    @property
+    def outer(self) -> Header:
+        return self.layers[0]
+
+    def inner_ipv4(self) -> IPv4Header:
+        """The innermost IPv4 header (the tenant packet's)."""
+        for layer in reversed(self.layers):
+            if isinstance(layer, IPv4Header):
+                return layer
+        raise PacketError("packet has no IPv4 header")
+
+    def inner_l4(self) -> Union[TcpHeader, UdpHeader, IcmpHeader]:
+        for layer in reversed(self.layers):
+            if isinstance(layer, (TcpHeader, UdpHeader, IcmpHeader)):
+                return layer
+        raise PacketError("packet has no L4 header")
+
+    def five_tuple(self) -> FiveTuple:
+        """The innermost flow key (the tenant's 5-tuple)."""
+        ip = self.inner_ipv4()
+        l4 = self.inner_l4()
+        if isinstance(l4, (TcpHeader, UdpHeader)):
+            return FiveTuple(ip.src, ip.dst, ip.proto, l4.src_port, l4.dst_port)
+        return FiveTuple(ip.src, ip.dst, ip.proto,
+                         l4.identifier, l4.identifier)
+
+    def vni(self) -> Optional[int]:
+        vxlan = self.find(VxlanHeader)
+        return vxlan.vni if vxlan else None
+
+    def nsh(self) -> Optional[NshHeader]:
+        return self.find(NshHeader)
+
+    # -- encap / decap ---------------------------------------------------------
+
+    def encap(self, *outer_layers: Header) -> "Packet":
+        """Push extra outer headers (given outer-first); returns self."""
+        self.layers[:0] = list(outer_layers)
+        return self
+
+    def decap(self, count: int = 1) -> List[Header]:
+        """Pop ``count`` outermost headers; returns them."""
+        if count >= len(self.layers):
+            raise PacketError("decap would remove every header")
+        removed, self.layers = self.layers[:count], self.layers[count:]
+        return removed
+
+    def decap_until(self, header_type: Type[Header]) -> List[Header]:
+        """Pop outer headers until the outermost is ``header_type``."""
+        removed: List[Header] = []
+        while self.layers and not isinstance(self.layers[0], header_type):
+            if len(self.layers) == 1:
+                raise PacketError(f"no {header_type.__name__} layer to decap to")
+            removed.append(self.layers.pop(0))
+        return removed
+
+    def copy(self) -> "Packet":
+        """A shallow-header copy (headers re-decoded from bytes would be
+        equal); meta is copied so per-hop annotations do not alias."""
+        import copy as _copy
+        return Packet([_copy.copy(layer) for layer in self.layers],
+                      self.payload, dict(self.meta))
+
+    # -- wire form --------------------------------------------------------------
+
+    @property
+    def wire_length(self) -> int:
+        return sum(layer.wire_length for layer in self.layers) + len(self.payload)
+
+    def encode(self) -> bytes:
+        return b"".join(layer.encode() for layer in self.layers) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, first_layer: str = "ipv4") -> "Packet":
+        """Parse bytes using the stacking conventions above.
+
+        ``first_layer`` is ``"ethernet"`` or ``"ipv4"`` depending on where
+        the bytes were captured.
+        """
+        layers: List[Header] = []
+        rest = data
+        expected: Optional[str] = first_layer
+        while expected is not None:
+            if expected == "ethernet":
+                eth, rest = EthernetHeader.decode(rest)
+                layers.append(eth)
+                if eth.ethertype == ETHERTYPE_IPV4:
+                    expected = "ipv4"
+                else:
+                    raise DecodeError(f"unhandled ethertype {eth.ethertype:#06x}")
+            elif expected == "ipv4":
+                ip, rest = IPv4Header.decode(rest)
+                layers.append(ip)
+                if ip.proto == PROTO_TCP:
+                    expected = "tcp"
+                elif ip.proto == PROTO_UDP:
+                    expected = "udp"
+                elif ip.proto == PROTO_ICMP:
+                    expected = "icmp"
+                else:
+                    raise DecodeError(f"unhandled IP proto {ip.proto}")
+            elif expected == "tcp":
+                tcp, rest = TcpHeader.decode(rest)
+                layers.append(tcp)
+                expected = None
+            elif expected == "icmp":
+                icmp, rest = IcmpHeader.decode(rest)
+                layers.append(icmp)
+                expected = None
+            elif expected == "udp":
+                udp, rest = UdpHeader.decode(rest)
+                layers.append(udp)
+                if udp.dst_port == VXLAN_PORT:
+                    expected = "vxlan"
+                elif udp.dst_port == NSH_PORT:
+                    expected = "nsh"
+                else:
+                    expected = None
+            elif expected == "vxlan":
+                vxlan, rest = VxlanHeader.decode(rest)
+                layers.append(vxlan)
+                expected = "ethernet"
+            elif expected == "nsh":
+                nsh, rest = NshHeader.decode(rest)
+                layers.append(nsh)
+                if nsh.next_proto == NEXT_PROTO_IPV4:
+                    expected = "ipv4"
+                elif nsh.next_proto == NEXT_PROTO_ETHERNET:
+                    expected = "ethernet"
+                else:
+                    raise DecodeError(f"unhandled NSH next proto {nsh.next_proto}")
+            else:  # pragma: no cover - defensive
+                raise DecodeError(f"unknown layer kind {expected!r}")
+        return cls(layers, rest)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Packet)
+                and self.layers == other.layers
+                and self.payload == other.payload)
+
+    def __repr__(self) -> str:
+        names = "/".join(type(layer).__name__.replace("Header", "")
+                         for layer in self.layers)
+        return f"Packet({names}, {self.wire_length}B)"
+
+
+def make_underlay_transport(
+    src_mac: MacAddress, dst_mac: MacAddress,
+    src_ip: IPv4Address, dst_ip: IPv4Address,
+    inner: Packet, vni: int, src_port: int = 49152,
+) -> Packet:
+    """Wrap a tenant packet in the standard VXLAN overlay transport."""
+    inner_bytes_len = inner.wire_length
+    inner_eth = EthernetHeader(MacAddress(0x02_00_00_00_00_02),
+                               MacAddress(0x02_00_00_00_00_01))
+    udp_len = (UdpHeader.wire_length + VxlanHeader.wire_length
+               + EthernetHeader.wire_length + inner_bytes_len)
+    total = IPv4Header.wire_length + udp_len
+    outer = [
+        EthernetHeader(dst_mac, src_mac),
+        IPv4Header(src_ip, dst_ip, PROTO_UDP, total_length=total),
+        UdpHeader(src_port, VXLAN_PORT, udp_len),
+        VxlanHeader(vni),
+        inner_eth,
+    ]
+    wrapped = Packet(outer + inner.layers, inner.payload, dict(inner.meta))
+    return wrapped

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free engine in the style of SimPy: processes are Python
+generators that ``yield`` *commands* (delays, events, resource requests) and
+the :class:`~repro.sim.engine.Engine` advances virtual time between them.
+
+Public surface::
+
+    from repro.sim import Engine, Event, Process, Timeout
+    from repro.sim import CpuResource, MemoryBudget, FifoQueue
+    from repro.sim import SeededRng, Trace
+
+Time is a float number of **seconds** of virtual time; sub-microsecond
+resolution is routinely used (e.g. per-packet CPU costs of a few hundred
+nanoseconds).
+"""
+
+from repro.sim.engine import Engine, Event, Interrupt, Process, Timeout
+from repro.sim.resources import CpuResource, FifoQueue, MemoryBudget
+from repro.sim.rng import SeededRng
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "CpuResource",
+    "MemoryBudget",
+    "FifoQueue",
+    "SeededRng",
+    "Trace",
+    "TraceRecord",
+]

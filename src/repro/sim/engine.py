@@ -1,0 +1,339 @@
+"""Core discrete-event engine.
+
+The engine keeps a heap of ``(time, seq, callback)`` entries. Two programming
+models are supported and freely mixed:
+
+* **callbacks** — ``engine.call_at(t, fn)`` / ``engine.call_after(dt, fn)``;
+* **processes** — generator functions that yield :class:`Timeout`,
+  :class:`Event`, or another :class:`Process`; the engine resumes them when
+  the yielded thing completes.
+
+The process model is what most of the library uses: a vSwitch worker loop,
+a TCP client, the controller's reconciliation loop are all processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) fires it,
+    resuming every waiting process with the given value (or exception).
+    Waiting on an already-fired event resumes the waiter immediately.
+    """
+
+    __slots__ = ("engine", "_value", "_exc", "_fired", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._waiters: List["Process"] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, waking all waiters."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._schedule_waiters()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event with an exception; waiters see it raised."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._exc = exc
+        self._schedule_waiters()
+        return self
+
+    def _schedule_waiters(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine.call_soon(proc._resume, self._value, self._exc)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._fired:
+            self.engine.call_soon(proc._resume, self._value, self._exc)
+        else:
+            self._waiters.append(proc)
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` seconds of virtual time."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running generator coroutine driven by the engine.
+
+    Yield targets:
+
+    * ``Timeout(dt)``   — resume after ``dt`` virtual seconds;
+    * ``Event``         — resume when the event fires (with its value);
+    * ``Process``       — resume when that process terminates;
+    * ``None``          — resume on the next engine tick (a cooperative yield).
+
+    A process is itself awaitable by other processes and exposes a
+    :attr:`done` flag plus its return :attr:`value`.
+    """
+
+    __slots__ = ("engine", "gen", "name", "_done", "_value", "_exc",
+                 "_completion", "_interrupts")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._completion = Event(engine, name=f"{self.name}.done")
+        self._interrupts: List[Interrupt] = []
+        engine.call_soon(self._resume, None, None)
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def completion(self) -> Event:
+        """Event fired when this process terminates."""
+        return self._completion
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume point."""
+        if self._done:
+            return
+        self._interrupts.append(Interrupt(cause))
+        self.engine.call_soon(self._resume, None, None)
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            return
+        try:
+            if self._interrupts:
+                intr = self._interrupts.pop(0)
+                target = self.gen.throw(intr)
+            elif exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate via event
+            self._finish(None, err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            self.engine.call_soon(self._resume, None, None)
+        elif isinstance(target, Timeout):
+            self.engine.call_after(target.delay, self._resume, target.value, None)
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target._completion._add_waiter(self)
+        else:
+            self._finish(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported {target!r}"
+                ),
+            )
+
+    def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._done = True
+        self._value = value
+        self._exc = exc
+        if exc is not None:
+            if self._completion._waiters:
+                self._completion.fail(exc)
+            else:
+                # Nobody is waiting; surface the crash through the engine so
+                # it is not silently swallowed.
+                self._completion._fired = True
+                self._completion._exc = exc
+                self.engine._report_crash(self, exc)
+        else:
+            self._completion.succeed(value)
+
+
+class Engine:
+    """The event loop: a time-ordered heap of callbacks.
+
+    ``run(until=...)`` executes callbacks in time order until the heap is
+    empty or virtual time would pass ``until``. The engine is deterministic:
+    simultaneous callbacks run in scheduling order (FIFO via a sequence
+    counter).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._crashes: List[Tuple[Process, BaseException]] = []
+        self.strict = True
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current time (after pending ties)."""
+        self.call_at(self._now, fn, *args)
+
+    # -- process / event construction ---------------------------------------
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    def all_of(self, waitables: Iterable[Any], name: str = "all_of") -> Event:
+        """Event fired once every given event/process has completed."""
+        items = list(waitables)
+        done_event = self.event(name)
+        remaining = len(items)
+        if remaining == 0:
+            done_event.succeed([])
+            return done_event
+        results: List[Any] = [None] * remaining
+
+        def waiter(index: int, item: Any) -> ProcessGen:
+            value = yield item
+            results[index] = value
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                done_event.succeed(list(results))
+
+        for i, item in enumerate(items):
+            self.process(waiter(i, item), name=f"{name}[{i}]")
+        return done_event
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap is empty or virtual time reaches ``until``.
+
+        Returns the virtual time at which execution stopped. Crashed
+        processes with no waiters raise at the end of the run when the
+        engine is ``strict`` (the default).
+        """
+        while self._heap:
+            when, _seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        if self._crashes and self.strict:
+            proc, exc = self._crashes[0]
+            raise SimulationError(
+                f"process {proc.name!r} crashed at t={self._now:.6f}: {exc!r}"
+            ) from exc
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending callback. Returns False if none left."""
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = when
+        fn(*args)
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of callbacks still queued."""
+        return len(self._heap)
+
+    # -- crash bookkeeping ---------------------------------------------------
+
+    def _report_crash(self, proc: Process, exc: BaseException) -> None:
+        self._crashes.append((proc, exc))
+
+    @property
+    def crashed_processes(self) -> List[Tuple[Process, BaseException]]:
+        return list(self._crashes)

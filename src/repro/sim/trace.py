@@ -1,0 +1,72 @@
+"""Lightweight structured tracing for simulations.
+
+Components emit ``trace.emit(kind, **fields)`` records; experiments filter
+and aggregate them afterwards. Tracing defaults to *disabled per kind* until
+a kind is subscribed, so hot paths pay one dict lookup when idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: virtual time, a kind tag, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class Trace:
+    """Collects :class:`TraceRecord` objects for subscribed kinds."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._records: List[TraceRecord] = []
+        self._enabled: Dict[str, bool] = {}
+        self._callbacks: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def enable(self, *kinds: str) -> None:
+        """Start recording the given kinds (e.g. ``"pkt.drop"``)."""
+        for kind in kinds:
+            self._enabled[kind] = True
+
+    def disable(self, *kinds: str) -> None:
+        for kind in kinds:
+            self._enabled[kind] = False
+
+    def on(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for each emitted record of ``kind``."""
+        self._enabled[kind] = True
+        self._callbacks.setdefault(kind, []).append(callback)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if not self._enabled.get(kind, False):
+            return
+        record = TraceRecord(self._clock(), kind, fields)
+        self._records.append(record)
+        for callback in self._callbacks.get(kind, ()):
+            callback(record)
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def iter(self, kind: str) -> Iterator[TraceRecord]:
+        return (r for r in self._records if r.kind == kind)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,53 @@
+"""The slow path: a per-vNIC chain of rule tables.
+
+One lookup runs every table in chain order, producing *bidirectional*
+pre-actions (Fig 1 caches both directions at once), and reports its CPU
+cost from the cost model: base + extra tables + ACL rules + packet bytes
+(the dependencies Table A1 measures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vswitch.actions import PreActions
+from repro.vswitch.costs import CostModel
+from repro.vswitch.rule_tables import AclTable, LookupContext, RuleTable
+
+
+class SlowPath:
+    """An ordered rule-table chain with cost accounting."""
+
+    def __init__(self, tables: List[RuleTable], cost_model: CostModel) -> None:
+        self.tables = list(tables)
+        self.cost_model = cost_model
+        self.lookups = 0
+
+    def table(self, name: str) -> Optional[RuleTable]:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        return None
+
+    def acl_rule_count(self) -> int:
+        return sum(t.rule_count() for t in self.tables if isinstance(t, AclTable))
+
+    def lookup_cost(self, packet_bytes: int) -> float:
+        """Cycle cost of one lookup, chargeable before running it."""
+        return self.cost_model.lookup_cycles(
+            n_tables=len(self.tables),
+            n_acl_rules=self.acl_rule_count(),
+            packet_bytes=packet_bytes,
+        )
+
+    def lookup(self, ctx: LookupContext) -> Tuple[PreActions, float]:
+        """Run the chain; returns (bidirectional pre-actions, cycle cost)."""
+        self.lookups += 1
+        pre = PreActions()
+        for table in self.tables:
+            table.apply(ctx, pre)
+        return pre, self.lookup_cost(ctx.packet_bytes)
+
+    def memory_bytes(self) -> int:
+        """Total rule-table memory this chain pins on its host."""
+        return sum(table.memory_bytes() for table in self.tables)

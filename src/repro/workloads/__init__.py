@@ -1,0 +1,34 @@
+"""Workload generators.
+
+Packet-level (drive the DES testbed):
+
+* :class:`CrrLoadGenerator` — netperf TCP_CRR-style short connections at a
+  target open rate (the paper's CPS workload, §6.2.1);
+* :class:`ConcurrentFlowHolder` — long-lived sessions that bloat the
+  session table (§2.2.2);
+* :class:`SynFlood` — half-open session pressure (§7.3);
+* :class:`ElephantFlow` — one high-rate flow (§7.5).
+
+Fleet-level (control-plane Monte Carlo, no packets):
+
+* :class:`FleetModel` — O(10K)-vSwitch demand model calibrated to the
+  paper's published percentiles (Fig 4, Table 1), with hotspot
+  classification (Fig 3), daily-overload simulation (Fig 13), and the VM
+  migration-downtime model (Fig A1).
+"""
+
+from repro.workloads.tcp_crr import (ClosedLoopCrr, CrrLoadGenerator,
+                                     CrrResult, measure_cps)
+from repro.workloads.flows import ConcurrentFlowHolder
+from repro.workloads.syn_flood import SynFlood
+from repro.workloads.elephant import ElephantFlow
+from repro.workloads.fleet import (FleetModel, QuantileDistribution,
+                                   HotspotKind)
+
+__all__ = [
+    "CrrLoadGenerator", "CrrResult", "ClosedLoopCrr", "measure_cps",
+    "ConcurrentFlowHolder",
+    "SynFlood",
+    "ElephantFlow",
+    "FleetModel", "QuantileDistribution", "HotspotKind",
+]

@@ -1,0 +1,53 @@
+"""A single elephant flow: one 5-tuple at high packet rate (§7.5)."""
+
+from __future__ import annotations
+
+from repro.host.vm import Vm
+from repro.net.addr import IPv4Address
+from repro.net.five_tuple import FiveTuple, PROTO_TCP
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+from repro.sim.engine import Engine
+from repro.vswitch.vnic import Vnic
+
+
+class ElephantFlow:
+    """Pumps data packets of one flow at ``rate_pps``."""
+
+    def __init__(self, engine: Engine, vm: Vm, vnic: Vnic,
+                 dst_ip: IPv4Address, rate_pps: float,
+                 payload_bytes: int = 1400, sport: int = 5001,
+                 dport: int = 5201) -> None:
+        self.engine = engine
+        self.vm = vm
+        self.vnic = vnic
+        self.dst_ip = IPv4Address(dst_ip)
+        self.rate_pps = rate_pps
+        self.payload = b"e" * payload_bytes
+        self.sport = sport
+        self.dport = dport
+        self.sent = 0
+        self._stop_at = None
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        return FiveTuple(self.vnic.tenant_ip, self.dst_ip, PROTO_TCP,
+                         self.sport, self.dport)
+
+    def run(self, duration: float) -> "ElephantFlow":
+        self._stop_at = self.engine.now + duration
+        self.engine.process(self._loop(), name="elephant")
+        return self
+
+    def _loop(self):
+        first = True
+        gap = 1.0 / self.rate_pps
+        while self.engine.now < self._stop_at:
+            flags = TcpFlags.of("syn") if first else TcpFlags.of("psh", "ack")
+            pkt = Packet.tcp(self.vnic.tenant_ip, self.dst_ip, self.sport,
+                             self.dport, flags,
+                             b"" if first else self.payload)
+            self.vm.send(self.vnic, pkt, new_connection=first)
+            self.sent += 1
+            first = False
+            yield self.engine.timeout(gap)

@@ -1,0 +1,77 @@
+"""Concurrent-flow pressure: long-lived sessions holding table entries."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.vm import Vm
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+from repro.sim.engine import Engine
+from repro.vswitch.vnic import Vnic
+
+
+class ConcurrentFlowHolder:
+    """Opens ``target`` long-lived flows and keeps them alive.
+
+    Each flow is a TCP session kept ESTABLISHED with periodic keepalives
+    (so aging never reclaims it) — the L4-LB persistent-connection pattern
+    that bloats session tables (§2.2.2). ``established()`` reports how
+    many flows the infrastructure actually admitted.
+    """
+
+    def __init__(self, engine: Engine, vm: Vm, vnic: Vnic,
+                 dst_ip: IPv4Address, target: int,
+                 keepalive: float = 2.0, ramp_rate: float = 2000.0,
+                 base_port: int = 1024) -> None:
+        self.engine = engine
+        self.vm = vm
+        self.vnic = vnic
+        self.dst_ip = IPv4Address(dst_ip)
+        self.target = int(target)
+        self.keepalive = keepalive
+        self.ramp_rate = ramp_rate
+        self.base_port = base_port
+        self.opened = 0
+        self._running = False
+
+    def start(self) -> "ConcurrentFlowHolder":
+        self._running = True
+        self.engine.process(self._ramp(), name="flow-holder")
+        self.engine.process(self._keepalive_loop(), name="flow-keepalive")
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _flow_port(self, index: int) -> int:
+        return self.base_port + index
+
+    def _send(self, index: int, flags: TcpFlags) -> None:
+        sport = self._flow_port(index)
+        dport = 7000 + index % 100
+        pkt = Packet.tcp(self.vnic.tenant_ip, self.dst_ip, sport, dport,
+                         flags)
+        self.vm.send(self.vnic, pkt, new_connection=flags.syn)
+
+    def _ramp(self):
+        gap = 1.0 / self.ramp_rate
+        while self._running and self.opened < self.target:
+            self._send(self.opened, TcpFlags.of("syn"))
+            self.opened += 1
+            yield self.engine.timeout(gap)
+
+    def _keepalive_loop(self):
+        while self._running:
+            yield self.engine.timeout(self.keepalive)
+            for index in range(self.opened):
+                self._send(index, TcpFlags.of("ack"))
+
+    def established(self) -> int:
+        """Sessions currently held in the local vSwitch's table."""
+        host = self.vnic.host
+        if host is None:
+            return 0
+        return sum(1 for entry in host.session_table
+                   if entry.vni == self.vnic.vni)

@@ -1,0 +1,44 @@
+"""SYN flood: half-open session pressure from a local VM (§7.3)."""
+
+from __future__ import annotations
+
+from repro.host.vm import Vm
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRng
+from repro.vswitch.vnic import Vnic
+
+
+class SynFlood:
+    """Emits bare SYNs at a fixed rate toward a destination that never
+    answers (or whose FE drops them): every SYN creates BE state that only
+    aging can reclaim."""
+
+    def __init__(self, engine: Engine, vm: Vm, vnic: Vnic,
+                 dst_ip: IPv4Address, rate_pps: float,
+                 rng: SeededRng = None) -> None:
+        self.engine = engine
+        self.vm = vm
+        self.vnic = vnic
+        self.dst_ip = IPv4Address(dst_ip)
+        self.rate_pps = rate_pps
+        self.rng = rng or SeededRng(0, "synflood")
+        self.sent = 0
+        self._stop_at = None
+
+    def run(self, duration: float) -> "SynFlood":
+        self._stop_at = self.engine.now + duration
+        self.engine.process(self._loop(), name="syn-flood")
+        return self
+
+    def _loop(self):
+        sport = 1024
+        while self.engine.now < self._stop_at:
+            pkt = Packet.tcp(self.vnic.tenant_ip, self.dst_ip,
+                             sport, 80, TcpFlags.of("syn"))
+            sport = 1024 + (sport - 1023) % 60000
+            self.vm.send(self.vnic, pkt, new_connection=True)
+            self.sent += 1
+            yield self.engine.timeout(self.rng.expovariate(self.rate_pps))

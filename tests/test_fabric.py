@@ -1,0 +1,248 @@
+"""Tests for the underlay fabric: links, switches, topology, ECMP."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric import Link, ServerNode, Topology, UnderlaySwitch
+from repro.fabric.topology import connect
+from repro.net import IPv4Address, MacAddress, Packet, TcpFlags
+from repro.sim import Engine
+
+
+def mk_server(engine, name, ip, mac=1):
+    return ServerNode(engine, name, IPv4Address(ip), MacAddress(mac))
+
+
+def mk_packet(src="10.0.0.1", dst="10.1.0.1", sport=1000, dport=80):
+    return Packet.tcp(IPv4Address(src), IPv4Address(dst), sport, dport,
+                      TcpFlags.of("syn"))
+
+
+# -- Link ------------------------------------------------------------------------
+
+def test_link_delivers_with_latency_and_serialization():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    connect(engine, a, b, latency=10e-6, gbps=1.0)  # 1 Gbps
+    arrivals = []
+    b.attach_sink(lambda pkt: arrivals.append(engine.now))
+    pkt = mk_packet()
+    a.send_to_fabric(pkt)
+    engine.run()
+    # 40B at 1 Gbps = 320ns serialization + 10us propagation.
+    expected = pkt.wire_length * 8 / 1e9 + 10e-6
+    assert arrivals == [pytest.approx(expected)]
+
+
+def test_link_serializes_back_to_back_packets():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    connect(engine, a, b, latency=0.0, gbps=1.0)
+    arrivals = []
+    b.attach_sink(lambda pkt: arrivals.append(engine.now))
+    p = mk_packet()
+    a.send_to_fabric(p.copy())
+    a.send_to_fabric(p.copy())
+    engine.run()
+    tx = p.wire_length * 8 / 1e9
+    assert arrivals[0] == pytest.approx(tx)
+    assert arrivals[1] == pytest.approx(2 * tx)
+
+
+def test_link_down_drops_silently():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    link = connect(engine, a, b)
+    got = []
+    b.attach_sink(got.append)
+    link.set_up(False)
+    a.send_to_fabric(mk_packet())
+    engine.run()
+    assert got == []
+    assert link.drops_down == 1
+
+
+def test_link_rejects_double_connection():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    c = mk_server(engine, "c", "10.0.0.3", mac=3)
+    connect(engine, a, b)
+    with pytest.raises(TopologyError):
+        Link(engine, a.ports[0], c.ports[0])
+
+
+def test_send_on_disconnected_port_returns_false():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    assert not a.send_to_fabric(mk_packet())
+
+
+# -- UnderlaySwitch ------------------------------------------------------------------
+
+def test_switch_forwards_installed_route():
+    engine = Engine()
+    sw = UnderlaySwitch(engine, "sw", num_ports=2)
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    connect(engine, a, sw)
+    connect(engine, sw, b)
+    sw.install_route(IPv4Address("10.0.0.2").value, [1])
+    got = []
+    b.attach_sink(lambda pkt: got.append(pkt))
+    a.send_to_fabric(mk_packet(dst="10.0.0.2"))
+    engine.run()
+    assert len(got) == 1
+    assert sw.forwarded == 1
+
+
+def test_switch_drops_unrouted_and_counts():
+    engine = Engine()
+    sw = UnderlaySwitch(engine, "sw", num_ports=2)
+    a = mk_server(engine, "a", "10.0.0.1")
+    connect(engine, a, sw)
+    a.send_to_fabric(mk_packet(dst="10.99.0.1"))
+    engine.run()
+    assert sw.no_route_drops == 1
+
+
+def test_switch_drops_on_ttl_expiry():
+    engine = Engine()
+    sw = UnderlaySwitch(engine, "sw", num_ports=2)
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    connect(engine, a, sw)
+    connect(engine, sw, b)
+    sw.install_route(IPv4Address("10.0.0.2").value, [1])
+    pkt = mk_packet(dst="10.0.0.2")
+    pkt.inner_ipv4().ttl = 1
+    a.send_to_fabric(pkt)
+    engine.run()
+    assert sw.ttl_drops == 1
+
+
+def test_switch_rejects_bad_route_install():
+    sw = UnderlaySwitch(Engine(), "sw", num_ports=2)
+    with pytest.raises(TopologyError):
+        sw.install_route(1, [])
+    with pytest.raises(TopologyError):
+        sw.install_route(1, [7])
+
+
+# -- Topology -------------------------------------------------------------------------
+
+def test_leaf_spine_shape():
+    engine = Engine()
+    topo = Topology.leaf_spine(engine, n_tors=3, servers_per_tor=4, n_spines=2)
+    assert len(topo.servers) == 12
+    assert len(topo.tors) == 3
+    assert len(topo.spines) == 2
+    # each server-link + tor-spine mesh
+    assert len(topo.links) == 12 + 3 * 2
+
+
+def test_leaf_spine_validation():
+    with pytest.raises(TopologyError):
+        Topology.leaf_spine(Engine(), 0, 1)
+    with pytest.raises(TopologyError):
+        Topology.leaf_spine(Engine(), 300, 1)
+
+
+def test_addressing_and_lookup():
+    topo = Topology.leaf_spine(Engine(), 2, 2)
+    server = topo.server_at(IPv4Address("10.1.0.2"))
+    assert server is not None and server.name == "s1-1"
+    assert topo.server_at(IPv4Address("10.9.0.1")) is None
+
+
+def test_same_tor_and_hop_distance():
+    topo = Topology.leaf_spine(Engine(), 2, 2)
+    s00, s01, s10 = topo.servers[0], topo.servers[1], topo.servers[2]
+    assert topo.same_tor(s00, s01)
+    assert not topo.same_tor(s00, s10)
+    assert topo.hop_distance(s00, s00) == 0
+    assert topo.hop_distance(s00, s01) == 2
+    assert topo.hop_distance(s00, s10) == 4
+
+
+def test_end_to_end_delivery_same_tor():
+    engine = Engine()
+    topo = Topology.leaf_spine(engine, 2, 2)
+    src, dst = topo.servers[0], topo.servers[1]
+    got = []
+    dst.attach_sink(lambda pkt: got.append(engine.now))
+    src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                 dst=str(dst.underlay_ip)))
+    engine.run()
+    assert len(got) == 1
+
+
+def test_end_to_end_delivery_cross_tor():
+    engine = Engine()
+    topo = Topology.leaf_spine(engine, 2, 2)
+    src, dst = topo.servers[0], topo.servers[3]
+    got = []
+    dst.attach_sink(lambda pkt: got.append(engine.now))
+    src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                 dst=str(dst.underlay_ip)))
+    engine.run()
+    assert len(got) == 1
+    # Cross-tor path is longer than same-tor.
+    cross_latency = got[0]
+    got2 = []
+    sibling = topo.servers[1]
+    sibling.attach_sink(lambda pkt: got2.append(engine.now))
+    t0 = engine.now
+    src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                 dst=str(sibling.underlay_ip)))
+    engine.run()
+    assert got2[0] - t0 < cross_latency
+
+
+def test_ecmp_spreads_flows_across_spines():
+    engine = Engine()
+    topo = Topology.leaf_spine(engine, 2, 1, n_spines=4)
+    src, dst = topo.servers[0], topo.servers[1]
+    dst.attach_sink(lambda pkt: None)
+    for sport in range(200):
+        src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                     dst=str(dst.underlay_ip), sport=sport))
+    engine.run()
+    used = [spine.forwarded for spine in topo.spines]
+    assert sum(used) == 200
+    # All four spines should see some share of 200 distinct flows.
+    assert all(count > 10 for count in used)
+
+
+def test_same_flow_stays_on_one_path():
+    engine = Engine()
+    topo = Topology.leaf_spine(engine, 2, 1, n_spines=4)
+    src, dst = topo.servers[0], topo.servers[1]
+    dst.attach_sink(lambda pkt: None)
+    for _ in range(50):
+        src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                     dst=str(dst.underlay_ip), sport=777))
+    engine.run()
+    used = [spine.forwarded for spine in topo.spines]
+    assert sorted(used) == [0, 0, 0, 50]
+
+
+def test_fail_server_links_blackholes():
+    engine = Engine()
+    topo = Topology.leaf_spine(engine, 2, 2)
+    src, dst = topo.servers[0], topo.servers[3]
+    got = []
+    dst.attach_sink(lambda pkt: got.append(pkt))
+    topo.fail_server_links(dst)
+    src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                 dst=str(dst.underlay_ip)))
+    engine.run()
+    assert got == []
+    topo.fail_server_links(dst, up=True)
+    src.send_to_fabric(mk_packet(src=str(src.underlay_ip),
+                                 dst=str(dst.underlay_ip)))
+    engine.run()
+    assert len(got) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for MAC/IPv4 address types and the internet checksum."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PacketError
+from repro.net import IPv4Address, MacAddress, internet_checksum
+from repro.net.checksum import verify_checksum
+
+
+# -- MacAddress ---------------------------------------------------------------
+
+def test_mac_from_string_and_back():
+    mac = MacAddress("02:1a:2b:3c:4d:5e")
+    assert str(mac) == "02:1a:2b:3c:4d:5e"
+    assert mac.value == 0x021A2B3C4D5E
+
+
+def test_mac_from_int():
+    assert str(MacAddress(1)) == "00:00:00:00:00:01"
+
+
+def test_mac_copy_constructor():
+    a = MacAddress(42)
+    assert MacAddress(a) == a
+
+
+def test_mac_broadcast():
+    assert str(MacAddress.broadcast()) == "ff:ff:ff:ff:ff:ff"
+
+
+def test_mac_bytes_roundtrip():
+    mac = MacAddress("de:ad:be:ef:00:01")
+    assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+
+@pytest.mark.parametrize("bad", ["xx:yy", "01:02:03:04:05", "0102030405aa", ""])
+def test_mac_bad_strings(bad):
+    with pytest.raises(PacketError):
+        MacAddress(bad)
+
+
+def test_mac_out_of_range():
+    with pytest.raises(PacketError):
+        MacAddress(1 << 48)
+    with pytest.raises(PacketError):
+        MacAddress(-1)
+
+
+def test_mac_hashable_and_distinct():
+    assert len({MacAddress(1), MacAddress(1), MacAddress(2)}) == 2
+
+
+# -- IPv4Address -----------------------------------------------------------------
+
+def test_ipv4_from_string_and_back():
+    ip = IPv4Address("10.1.2.3")
+    assert str(ip) == "10.1.2.3"
+    assert ip.value == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+
+def test_ipv4_copy_constructor():
+    a = IPv4Address("1.2.3.4")
+    assert IPv4Address(a) == a
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "256.1.1.1", "a.b.c.d", "1.2.3.4.5"])
+def test_ipv4_bad_strings(bad):
+    with pytest.raises(PacketError):
+        IPv4Address(bad)
+
+
+def test_ipv4_out_of_range():
+    with pytest.raises(PacketError):
+        IPv4Address(1 << 32)
+
+
+def test_ipv4_bytes_roundtrip():
+    ip = IPv4Address("192.168.1.254")
+    assert IPv4Address.from_bytes(ip.to_bytes()) == ip
+
+
+def test_ipv4_prefix_membership():
+    ip = IPv4Address("10.1.2.3")
+    assert ip.in_prefix(IPv4Address("10.1.0.0"), 16)
+    assert not ip.in_prefix(IPv4Address("10.2.0.0"), 16)
+    assert ip.in_prefix(IPv4Address("0.0.0.0"), 0)
+    assert ip.in_prefix(ip, 32)
+
+
+def test_ipv4_prefix_bad_length():
+    with pytest.raises(PacketError):
+        IPv4Address("1.1.1.1").in_prefix(IPv4Address("1.1.1.1"), 33)
+
+
+def test_ipv4_ordering():
+    assert IPv4Address("1.0.0.1") < IPv4Address("1.0.0.2")
+
+
+@given(st.integers(0, (1 << 32) - 1))
+def test_ipv4_string_roundtrip_property(value):
+    ip = IPv4Address(value)
+    assert IPv4Address(str(ip)) == ip
+
+
+@given(st.integers(0, (1 << 48) - 1))
+def test_mac_string_roundtrip_property(value):
+    mac = MacAddress(value)
+    assert MacAddress(str(mac)) == mac
+
+
+# -- checksum ----------------------------------------------------------------------
+
+def test_checksum_known_vector():
+    # Classic RFC 1071 example data.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert internet_checksum(data) == 0x220D
+
+
+def test_checksum_odd_length_padded():
+    assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_checksum_verifies_itself(data):
+    cksum = internet_checksum(data)
+    # Embed the checksum at the end (even-aligned) and verify.
+    padded = data + b"\x00" if len(data) % 2 else data
+    assert verify_checksum(padded + cksum.to_bytes(2, "big"))

@@ -1,0 +1,185 @@
+"""Tests for the Packet model: stacking, encap/decap, wire round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PacketError
+from repro.net import (
+    EthernetHeader, FiveTuple, IPv4Address, IPv4Header, MacAddress,
+    NshContext, NshHeader, Packet, TcpFlags, TcpHeader, UdpHeader,
+    VxlanHeader, PROTO_TCP,
+)
+from repro.net.packet import NSH_PORT, make_underlay_transport
+
+A = IPv4Address("10.0.0.1")
+B = IPv4Address("10.0.0.2")
+
+
+def tcp_pkt(payload=b"hello"):
+    return Packet.tcp(A, B, 1000, 80, TcpFlags.of("syn"), payload)
+
+
+# -- five tuple -----------------------------------------------------------------
+
+def test_five_tuple_extraction():
+    ft = tcp_pkt().five_tuple()
+    assert ft == FiveTuple(A, B, PROTO_TCP, 1000, 80)
+
+
+def test_five_tuple_reverse_and_session_key():
+    ft = FiveTuple(A, B, PROTO_TCP, 1000, 80)
+    rev = ft.reversed()
+    assert rev.src_ip == B and rev.dst_port == 1000
+    assert ft.session_key() == rev.session_key()
+    assert ft != rev
+
+
+def test_five_tuple_hash_deterministic_and_seeded():
+    ft = FiveTuple(A, B, PROTO_TCP, 1000, 80)
+    assert ft.hash() == ft.hash()
+    assert ft.hash(seed=1) != ft.hash(seed=2)
+
+
+def test_five_tuple_hash_not_symmetric():
+    # Nezha explicitly does NOT need symmetric hashing (§3.2.3); the state
+    # is on the BE which both directions traverse.
+    ft = FiveTuple(A, B, PROTO_TCP, 1000, 80)
+    assert ft.hash() != ft.reversed().hash()
+
+
+def test_five_tuple_usable_as_dict_key():
+    ft = FiveTuple(A, B, PROTO_TCP, 1, 2)
+    same = FiveTuple(A, B, PROTO_TCP, 1, 2)
+    assert {ft: "x"}[same] == "x"
+
+
+# -- constructors / accessors ------------------------------------------------------
+
+def test_tcp_packet_lengths():
+    pkt = tcp_pkt(b"12345")
+    assert pkt.wire_length == 20 + 20 + 5
+    assert pkt.expect(IPv4Header).total_length == 45
+
+
+def test_udp_packet_lengths():
+    pkt = Packet.udp(A, B, 53, 53, b"q" * 10)
+    assert pkt.expect(UdpHeader).length == 18
+    assert pkt.wire_length == 20 + 8 + 10
+
+
+def test_icmp_echo_constructor():
+    pkt = Packet.icmp_echo(A, B, identifier=3, sequence=9)
+    ft = pkt.five_tuple()
+    assert ft.proto == 1
+
+
+def test_find_and_expect():
+    pkt = tcp_pkt()
+    assert pkt.find(TcpHeader) is pkt.layers[1]
+    assert pkt.find(VxlanHeader) is None
+    with pytest.raises(PacketError):
+        pkt.expect(VxlanHeader)
+
+
+def test_empty_packet_rejected():
+    with pytest.raises(PacketError):
+        Packet([])
+
+
+# -- encap / decap ---------------------------------------------------------------------
+
+def test_underlay_transport_wraps_and_unwraps():
+    inner = tcp_pkt()
+    wrapped = make_underlay_transport(
+        MacAddress(1), MacAddress(2), IPv4Address("192.168.0.1"),
+        IPv4Address("192.168.0.2"), inner, vni=77)
+    assert wrapped.vni() == 77
+    # Inner five-tuple is still the tenant's.
+    assert wrapped.five_tuple() == inner.five_tuple()
+    # Unwrap: drop Eth/IPv4/UDP/VXLAN/innerEth.
+    wrapped.decap(5)
+    assert wrapped.layers == inner.layers
+
+
+def test_encap_returns_self_for_chaining():
+    pkt = tcp_pkt()
+    assert pkt.encap(VxlanHeader(1)) is pkt
+    assert isinstance(pkt.outer, VxlanHeader)
+
+
+def test_decap_cannot_empty_packet():
+    pkt = tcp_pkt()
+    with pytest.raises(PacketError):
+        pkt.decap(2)
+
+
+def test_decap_until():
+    pkt = tcp_pkt()
+    pkt.encap(VxlanHeader(1))
+    removed = pkt.decap_until(IPv4Header)
+    assert len(removed) == 1
+    assert isinstance(pkt.outer, IPv4Header)
+
+
+def test_decap_until_missing_layer_raises():
+    pkt = Packet([IPv4Header(A, B, 6, total_length=40), TcpHeader(1, 2)])
+    with pytest.raises(PacketError):
+        pkt.decap_until(VxlanHeader)
+
+
+def test_copy_is_independent():
+    pkt = tcp_pkt()
+    dup = pkt.copy()
+    dup.meta["x"] = 1
+    dup.expect(IPv4Header).ttl = 1
+    assert "x" not in pkt.meta
+    assert pkt.expect(IPv4Header).ttl == 64
+    assert dup == pkt or dup.expect(IPv4Header).ttl != pkt.expect(IPv4Header).ttl
+
+
+# -- wire round-trips -----------------------------------------------------------------------
+
+def test_plain_tcp_wire_roundtrip():
+    pkt = tcp_pkt(b"payload!")
+    decoded = Packet.decode(pkt.encode(), first_layer="ipv4")
+    assert decoded == pkt
+
+
+def test_vxlan_overlay_wire_roundtrip():
+    inner = tcp_pkt(b"x" * 30)
+    wrapped = make_underlay_transport(
+        MacAddress(0xA), MacAddress(0xB), IPv4Address("1.1.1.1"),
+        IPv4Address("2.2.2.2"), inner, vni=4242)
+    decoded = Packet.decode(wrapped.encode(), first_layer="ethernet")
+    assert decoded == wrapped
+    assert decoded.vni() == 4242
+
+
+def test_nezha_nsh_hop_wire_roundtrip():
+    """The BE→FE wire format: Eth/IPv4/UDP(4790)/NSH(state)/IPv4/TCP."""
+    inner = tcp_pkt(b"data")
+    ctx = NshContext({NshContext.STATE: b"\x01", NshContext.DIRECTION: b"T"})
+    nsh = NshHeader(spi=9, si=255, context=ctx)
+    udp_len = UdpHeader.wire_length + nsh.wire_length + inner.wire_length
+    outer_ip_len = IPv4Header.wire_length + udp_len
+    pkt = Packet(
+        [EthernetHeader(MacAddress(1), MacAddress(2)),
+         IPv4Header(IPv4Address("172.16.0.1"), IPv4Address("172.16.0.2"),
+                    17, total_length=outer_ip_len),
+         UdpHeader(50000, NSH_PORT, udp_len),
+         nsh] + inner.layers,
+        inner.payload)
+    decoded = Packet.decode(pkt.encode(), first_layer="ethernet")
+    assert decoded == pkt
+    assert decoded.nsh().context.get(NshContext.STATE) == b"\x01"
+    assert decoded.five_tuple() == inner.five_tuple()
+
+
+@given(st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1),
+       st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+       st.binary(min_size=0, max_size=100))
+def test_tcp_packet_wire_roundtrip_property(src, dst, sport, dport, payload):
+    pkt = Packet.tcp(IPv4Address(src), IPv4Address(dst), sport, dport,
+                     TcpFlags.of("ack"), payload)
+    assert Packet.decode(pkt.encode(), first_layer="ipv4") == pkt

@@ -1,0 +1,89 @@
+"""Tests for the hash-based FE selector (repro.core.load_balancer)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import FiveTuple, IPv4Address, MacAddress
+from repro.vswitch.rule_tables import Location
+from repro.core import FeSelector
+
+
+def loc(i):
+    return Location(IPv4Address(f"10.0.0.{i}"), MacAddress(i))
+
+
+def flows(n, dst_port=80):
+    return [FiveTuple(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"),
+                      6, 1024 + i, dst_port) for i in range(n)]
+
+
+def test_pick_requires_fes():
+    with pytest.raises(ConfigError):
+        FeSelector().pick(flows(1)[0])
+
+
+def test_pick_is_deterministic_per_flow():
+    selector = FeSelector([loc(1), loc(2), loc(3)])
+    ft = flows(1)[0]
+    assert selector.pick(ft) == selector.pick(ft)
+
+
+def test_flows_spread_across_fes():
+    selector = FeSelector([loc(i) for i in range(1, 5)])
+    shares = selector.share_of(flows(400))
+    assert sum(shares.values()) == 400
+    assert all(count > 50 for count in shares.values())
+
+
+def test_add_duplicate_rejected():
+    selector = FeSelector([loc(1)])
+    with pytest.raises(ConfigError):
+        selector.add(loc(1))
+
+
+def test_remove_shifts_only_affected_flows():
+    selector = FeSelector([loc(1), loc(2), loc(3), loc(4)])
+    fts = flows(200)
+    before = {ft: selector.pick(ft) for ft in fts}
+    selector.remove(loc(4))
+    after = {ft: selector.pick(ft) for ft in fts}
+    # Every flow previously on loc(4) moved; others may move too (modulo
+    # hashing, no consistent hashing by design) but most importantly no
+    # flow still maps to the removed FE.
+    assert all(location != loc(4) for location in after.values())
+    moved_from_dead = [ft for ft in fts if before[ft] == loc(4)]
+    assert moved_from_dead  # some flows were on the removed FE
+
+
+def test_reseed_redistributes():
+    selector = FeSelector([loc(1), loc(2), loc(3), loc(4)])
+    fts = flows(200)
+    before = {ft: selector.pick(ft) for ft in fts}
+    selector.reseed(99)
+    after = {ft: selector.pick(ft) for ft in fts}
+    assert any(before[ft] != after[ft] for ft in fts)
+
+
+def test_pin_elephant_flow():
+    selector = FeSelector([loc(1), loc(2)])
+    elephant = flows(1)[0]
+    target = loc(2)
+    selector.pin(elephant, target)
+    assert selector.pick(elephant) == target
+    selector.unpin(elephant)
+    # Back to hash-based decision (may or may not equal target).
+    assert selector.pick(elephant) in (loc(1), loc(2))
+
+
+def test_pin_requires_active_fe():
+    selector = FeSelector([loc(1)])
+    with pytest.raises(ConfigError):
+        selector.pin(flows(1)[0], loc(9))
+
+
+def test_removing_fe_clears_its_pins():
+    selector = FeSelector([loc(1), loc(2)])
+    elephant = flows(1)[0]
+    selector.pin(elephant, loc(2))
+    selector.remove(loc(2))
+    assert selector.pick(elephant) == loc(1)

@@ -1,0 +1,104 @@
+"""Tests for §7.5 load-imbalance handling: hash reseed and elephant-flow
+FE dedication."""
+
+import pytest
+
+from repro.net import FiveTuple, IPv4Address, Packet, PROTO_TCP, TcpFlags
+from repro.core.offload import OffloadState
+
+from tests.conftest import TENANT_A, TENANT_B, VNI, build_nezha_env
+
+
+def active_env(n_fes=4, n_servers=8):
+    env = build_nezha_env(n_servers=n_servers)
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:n_fes])
+    env.engine.run(until=env.engine.now + 2.0)
+    assert handle.state is OffloadState.ACTIVE
+    return env, handle
+
+
+def tx_flow_packets(env, sport, count, flags_first="syn"):
+    env.vnic_a.attach_guest(lambda pkt: None)
+    t = 0.0
+    for i in range(count):
+        pkt = Packet.tcp(TENANT_B, TENANT_A, sport, 9999,
+                         TcpFlags.of(flags_first) if i == 0
+                         else TcpFlags.of("ack"))
+        env.engine.call_after(t, env.vswitch_b.send_from_vnic,
+                              env.vnic_b, pkt)
+        t += 0.001
+    env.engine.run(until=env.engine.now + t + 0.3)
+
+
+def test_reseed_moves_flows_between_fes():
+    env, handle = active_env()
+    ft = FiveTuple(TENANT_B, TENANT_A, PROTO_TCP, 5000, 9999)
+    before = handle.selector.pick(ft)
+    # Find a seed that moves this flow.
+    for seed in range(1, 50):
+        handle.selector.reseed(seed)
+        if handle.selector.pick(ft) != before:
+            break
+    else:
+        pytest.fail("no seed moved the flow (improbable)")
+    moved_to = handle.selector.pick(ft)
+    assert moved_to != before
+    # The orchestrator-level reseed also updates sender-side tables.
+    env.orchestrator.reseed_load_balancing(handle, seed)
+    table = env.vnic_a.slow_path.table("vnic_server_mapping")
+    assert table.hash_seed == seed
+
+
+def test_reseed_costs_only_cache_misses():
+    env, handle = active_env()
+    tx_flow_packets(env, sport=6000, count=5)
+    misses_before = sum(fe.stats.flow_cache_misses
+                        for fe in handle.frontends.values())
+    assert misses_before == 1
+    # Reseed mid-flow; the flow may land on a new FE -> one more lookup.
+    env.orchestrator.reseed_load_balancing(handle, seed=7)
+    tx_flow_packets(env, sport=6000, count=5, flags_first="ack")
+    misses_after = sum(fe.stats.flow_cache_misses
+                       for fe in handle.frontends.values())
+    assert misses_after <= misses_before + 1
+
+
+def test_dedicate_fe_pins_elephant_to_new_fe():
+    env, handle = active_env(n_fes=2, n_servers=8)
+    elephant = FiveTuple(TENANT_B, TENANT_A, PROTO_TCP, 7000, 9999)
+    dedicated = env.idle_vswitches[2]  # not yet an FE
+    done = env.orchestrator.dedicate_fe(handle, elephant, dedicated)
+    env.engine.run(until=env.engine.now + 1.0)
+    assert done.fired
+    assert len(handle.frontends) == 3
+    # Every packet of the elephant now goes to the dedicated FE.
+    tx_flow_packets(env, sport=7000, count=20)
+    dedicated_fe = [fe for fe in handle.frontends.values()
+                    if fe.vswitch is dedicated][0]
+    assert dedicated_fe.stats.tx_processed == 20
+    others = [fe.stats.tx_processed for fe in handle.frontends.values()
+              if fe.vswitch is not dedicated]
+    assert all(count == 0 for count in others)
+
+
+def test_dedicate_fe_reuses_existing_fe():
+    env, handle = active_env(n_fes=4)
+    elephant = FiveTuple(TENANT_B, TENANT_A, PROTO_TCP, 7100, 9999)
+    target = handle.fe_vswitches[1]
+    done = env.orchestrator.dedicate_fe(handle, elephant, target)
+    env.engine.run(until=env.engine.now + 0.5)
+    assert done.fired
+    assert len(handle.frontends) == 4      # no scale-out needed
+    location = [loc for loc, fe in handle.frontends.items()
+                if fe.vswitch is target][0]
+    assert handle.selector.pick(elephant) == location
+
+
+def test_other_flows_unaffected_by_pin():
+    env, handle = active_env(n_fes=2, n_servers=8)
+    elephant = FiveTuple(TENANT_B, TENANT_A, PROTO_TCP, 7200, 9999)
+    env.orchestrator.dedicate_fe(handle, elephant, env.idle_vswitches[2])
+    env.engine.run(until=env.engine.now + 1.0)
+    mouse = FiveTuple(TENANT_B, TENANT_A, PROTO_TCP, 7201, 9999)
+    # The mouse still follows the hash over all three FEs.
+    assert handle.selector.pick(mouse) in handle.selector.locations

@@ -1,0 +1,196 @@
+"""Tests for pre-actions, verdict resolution, process_pkt (paper §5.1)."""
+
+import pytest
+
+from repro.vswitch import (
+    Direction, PreAction, PreActions, SessionState, StatsPolicy, Verdict,
+    process_pkt,
+)
+from repro.vswitch.actions import ActionKind, resolve_verdict
+from repro.net import IPv4Address
+
+
+def state_first(direction):
+    return SessionState(first_direction=direction)
+
+
+# -- wire encodings ----------------------------------------------------------
+
+def test_direction_wire_roundtrip():
+    assert Direction.from_wire(Direction.TX.to_wire()) is Direction.TX
+    assert Direction.from_wire(Direction.RX.to_wire()) is Direction.RX
+
+
+def test_direction_opposite():
+    assert Direction.TX.opposite is Direction.RX
+    assert Direction.RX.opposite is Direction.TX
+
+
+def test_verdict_wire_roundtrip():
+    assert Verdict.from_wire(Verdict.ACCEPT.to_wire()) is Verdict.ACCEPT
+    assert Verdict.from_wire(Verdict.DROP.to_wire()) is Verdict.DROP
+
+
+# -- resolve_verdict: the stateful-ACL truth table (§5.1) ----------------------
+
+def test_accept_preaction_always_accepts():
+    pre = PreAction(verdict=Verdict.ACCEPT)
+    assert resolve_verdict(Direction.RX, pre, state_first(Direction.RX)) \
+        is Verdict.ACCEPT
+
+
+def test_rx_drop_overridden_for_locally_initiated_session():
+    """RX pre-action 'drop' + state TX => accept (solicited response)."""
+    pre = PreAction(verdict=Verdict.DROP)
+    assert resolve_verdict(Direction.RX, pre, state_first(Direction.TX)) \
+        is Verdict.ACCEPT
+
+
+def test_rx_drop_enforced_for_unsolicited_flow():
+    """RX pre-action 'drop' + state RX => drop (unsolicited)."""
+    pre = PreAction(verdict=Verdict.DROP)
+    assert resolve_verdict(Direction.RX, pre, state_first(Direction.RX)) \
+        is Verdict.DROP
+
+
+def test_tx_drop_overridden_for_remotely_initiated_session():
+    pre = PreAction(verdict=Verdict.DROP)
+    assert resolve_verdict(Direction.TX, pre, state_first(Direction.RX)) \
+        is Verdict.ACCEPT
+
+
+def test_non_stateful_drop_never_overridden():
+    pre = PreAction(verdict=Verdict.DROP, stateful_acl=False)
+    assert resolve_verdict(Direction.RX, pre, state_first(Direction.TX)) \
+        is Verdict.DROP
+
+
+def test_drop_with_no_first_direction_drops():
+    pre = PreAction(verdict=Verdict.DROP)
+    assert resolve_verdict(Direction.RX, pre, SessionState()) is Verdict.DROP
+
+
+# -- process_pkt ------------------------------------------------------------------
+
+def test_process_pkt_tx_forward_carries_next_hop():
+    pre_actions = PreActions()
+    pre_actions.tx.next_hop_ip = IPv4Address("10.0.0.9")
+    pre_actions.tx.vni = 55
+    action = process_pkt(Direction.TX, pre_actions,
+                         state_first(Direction.TX), 100)
+    assert action.kind is ActionKind.FORWARD
+    assert action.next_hop_ip == IPv4Address("10.0.0.9")
+    assert action.vni == 55
+
+
+def test_process_pkt_rx_delivers():
+    action = process_pkt(Direction.RX, PreActions(),
+                         state_first(Direction.RX), 100)
+    assert action.kind is ActionKind.DELIVER
+
+
+def test_process_pkt_drop_reason():
+    pre_actions = PreActions()
+    pre_actions.rx.verdict = Verdict.DROP
+    action = process_pkt(Direction.RX, pre_actions,
+                         state_first(Direction.RX), 100)
+    assert action.is_drop
+    assert action.reason == "acl"
+
+
+def test_process_pkt_updates_stats_per_policy():
+    state = state_first(Direction.TX)
+    state.stats_policy = StatsPolicy.FULL
+    pre_actions = PreActions()
+    process_pkt(Direction.TX, pre_actions, state, 150)
+    process_pkt(Direction.RX, pre_actions, state, 50)
+    assert state.bytes_tx == 150 and state.packets_tx == 1
+    assert state.bytes_rx == 50 and state.packets_rx == 1
+
+
+def test_process_pkt_no_stats_without_policy():
+    state = state_first(Direction.TX)
+    process_pkt(Direction.TX, PreActions(), state, 150)
+    assert state.bytes_tx == 0 and state.packets_tx == 0
+
+
+def test_dropped_packet_not_counted_in_stats():
+    state = state_first(Direction.RX)
+    state.stats_policy = StatsPolicy.FULL
+    pre_actions = PreActions()
+    pre_actions.rx.verdict = Verdict.DROP
+    process_pkt(Direction.RX, pre_actions, state, 99)
+    assert state.bytes_rx == 0
+
+
+def test_preactions_for_direction():
+    pre_actions = PreActions()
+    assert pre_actions.for_direction(Direction.TX) is pre_actions.tx
+    assert pre_actions.for_direction(Direction.RX) is pre_actions.rx
+
+
+def test_preactions_copy_is_deep_enough():
+    pre_actions = PreActions()
+    dup = pre_actions.copy()
+    dup.tx.verdict = Verdict.DROP
+    assert pre_actions.tx.verdict is Verdict.ACCEPT
+
+
+# -- SessionState wire + sizing ------------------------------------------------------
+
+def test_state_wire_roundtrip_full():
+    from repro.vswitch.tcp_fsm import TcpState
+    state = SessionState(first_direction=Direction.TX,
+                         tcp_state=TcpState.ESTABLISHED,
+                         stats_policy=StatsPolicy.BYTES,
+                         decap_overlay_src=IPv4Address("1.2.3.4"))
+    back = SessionState.from_wire(state.to_wire())
+    assert back.first_direction is Direction.TX
+    assert back.tcp_state is TcpState.ESTABLISHED
+    assert back.stats_policy is StatsPolicy.BYTES
+    assert back.decap_overlay_src == IPv4Address("1.2.3.4")
+
+
+def test_state_wire_roundtrip_empty():
+    back = SessionState.from_wire(SessionState().to_wire())
+    assert back.first_direction is None
+    assert back.decap_overlay_src is None
+
+
+def test_state_wire_rejects_short_blob():
+    with pytest.raises(ValueError):
+        SessionState.from_wire(b"\x00")
+
+
+def test_variable_size_small_for_plain_flow():
+    """§7.1: most states are 5-8B, far below the fixed 64B slot."""
+    state = SessionState(first_direction=Direction.TX)
+    from repro.vswitch.tcp_fsm import TcpState
+    state.tcp_state = TcpState.ESTABLISHED
+    assert 5 <= state.variable_size() <= 8
+
+
+def test_variable_size_grows_with_features():
+    state = SessionState(first_direction=Direction.TX,
+                         stats_policy=StatsPolicy.FULL,
+                         decap_overlay_src=IPv4Address("1.1.1.1"))
+    assert state.variable_size() > 20
+
+
+def test_aging_time_depends_on_tcp_state():
+    from repro.vswitch.tcp_fsm import TcpState
+    state = SessionState()
+    embryonic = state.aging_time()
+    state.tcp_state = TcpState.ESTABLISHED
+    established = state.aging_time()
+    state.tcp_state = TcpState.CLOSED
+    closed = state.aging_time()
+    assert embryonic < established
+    assert closed < embryonic
+
+
+def test_expired_uses_last_seen():
+    state = SessionState()
+    state.touch(10.0)
+    assert not state.expired(10.5)
+    assert state.expired(10.0 + state.aging_time() + 0.01)

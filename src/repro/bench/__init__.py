@@ -1,0 +1,15 @@
+"""Fast-path microbenchmark definitions.
+
+Each bench is a (setup, optimized op, legacy op) triple over the hot
+paths the performance overhaul touched. ``tools/bench.py`` runs them and
+writes ``BENCH_fastpath.json``; ``benchmarks/test_micro.py`` runs the
+same ops under pytest-benchmark. Keeping the workloads in one module
+guarantees the tracked JSON and the pytest benches measure the same
+thing.
+"""
+
+from repro.bench.micro import (BENCHES, MicroBench, calibration_loop,
+                               run_bench, run_all)
+
+__all__ = ["BENCHES", "MicroBench", "calibration_loop", "run_bench",
+           "run_all"]

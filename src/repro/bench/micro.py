@@ -1,0 +1,325 @@
+"""Microbenchmarks over the per-packet hot paths.
+
+Each :class:`MicroBench` builds a workload once and exposes the optimized
+op plus, where the optimization kept its pre-change implementation behind
+a legacy switch, the baseline op. The baseline runs the *same workload
+through the pre-overhaul code path* (pure-heap engine, uncached chain,
+full-scan ACL, per-label percentile sorts), so the recorded speedup is a
+true before/after delta on the same machine.
+
+Ops/sec numbers are machine-dependent; speedups and the calibration-
+normalized throughputs are not, which is what the CI smoke gate checks
+(see ``tools/bench.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.metrics.percentiles import STANDARD_LABELS, percentile, \
+    percentile_summary
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.five_tuple import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.net.packet import Packet, make_underlay_transport
+from repro.sim.engine import Engine
+from repro.sim.resources import MemoryBudget
+from repro.vswitch.actions import Direction, Verdict
+from repro.vswitch.costs import CostModel
+from repro.vswitch.rule_tables import (AclRule, AclTable, LookupContext,
+                                       MappingEntry)
+from repro.vswitch.session_table import EntryMode, SessionTable
+from repro.vswitch.slow_path import SlowPath
+from repro.vswitch.vswitch import make_standard_chain
+
+
+@dataclass
+class MicroBench:
+    """One benchmark: a setup returning (optimized op, legacy op, ops/call)."""
+
+    name: str
+    description: str
+    setup: Callable[[], Tuple[Callable[[], object],
+                              Optional[Callable[[], object]], int]]
+
+
+def _legacy_flags(fn: Callable[[], object]) -> Callable[[], object]:
+    """Run ``fn`` with every optimization switched to its legacy path."""
+
+    def wrapped() -> object:
+        saved = (Engine.micro_queue, SlowPath.caching,
+                 AclTable.bucketed, Packet.memoize)
+        Engine.micro_queue = False
+        SlowPath.caching = False
+        AclTable.bucketed = False
+        Packet.memoize = False
+        try:
+            return fn()
+        finally:
+            (Engine.micro_queue, SlowPath.caching,
+             AclTable.bucketed, Packet.memoize) = saved
+
+    return wrapped
+
+
+# -- workload builders -------------------------------------------------------
+
+
+def _dense_acl_rules(n_rules: int, seed: int = 7) -> List[AclRule]:
+    """Rules spread across (proto, direction) that no probe matches, so a
+    verdict pays the worst case: a full candidate scan to the default."""
+    rng = random.Random(seed)
+    rules = []
+    protos = (PROTO_TCP, PROTO_UDP, PROTO_ICMP)
+    directions = (Direction.TX, Direction.RX, None)
+    for i in range(n_rules):
+        rules.append(AclRule(
+            priority=i % 37,
+            verdict=Verdict.DROP,
+            direction=directions[i % 3],
+            proto=protos[i % 3],
+            src_prefix=IPv4Address(rng.getrandbits(32)),
+            src_prefix_len=30,
+            dst_port_range=(0, 0),      # probes use port 80: never matches
+        ))
+    return rules
+
+
+def _probe_tuples(count: int, seed: int = 11) -> List[FiveTuple]:
+    rng = random.Random(seed)
+    return [FiveTuple(IPv4Address(rng.getrandbits(32)),
+                      IPv4Address("10.0.0.2"),
+                      PROTO_TCP, rng.randrange(1024, 65536), 80)
+            for _ in range(count)]
+
+
+def _setup_slow_path_lookup():
+    cost_model = CostModel()
+    acl = AclTable(_dense_acl_rules(240))
+    chain = make_standard_chain(cost_model, acl=acl)
+    mapping = chain.table("vnic_server_mapping")
+    mapping.set_entry(7, IPv4Address("10.0.0.2"),
+                      MappingEntry(IPv4Address("172.16.0.2"), MacAddress(2),
+                                   vni=7))
+    contexts = [LookupContext(ft, vni=7, packet_bytes=64)
+                for ft in _probe_tuples(32)]
+
+    def op() -> object:
+        out = None
+        for ctx in contexts:
+            out = chain.lookup(ctx)
+        return out
+
+    return op, _legacy_flags(op), len(contexts)
+
+
+def _setup_acl_verdict():
+    acl = AclTable(_dense_acl_rules(240))
+    probes = _probe_tuples(32)
+
+    def optimized() -> object:
+        out = None
+        for ft in probes:
+            out = acl._verdict(ft, Direction.TX)
+            out = acl._verdict(ft.reversed(), Direction.RX)
+        return out
+
+    def legacy() -> object:
+        out = None
+        for ft in probes:
+            out = acl._verdict_scan(ft, Direction.TX)
+            out = acl._verdict_scan(ft.reversed(), Direction.RX)
+        return out
+
+    optimized()                      # build the buckets outside the clock
+    return optimized, legacy, len(probes) * 2
+
+
+def _setup_session_table():
+    cost_model = CostModel()
+    mem = MemoryBudget(64 * 1024 * 1024)
+    table = SessionTable(mem, cost_model)
+    tuples = _probe_tuples(256, seed=23)
+
+    def op() -> object:
+        for ft in tuples:
+            table.insert(7, ft, None, None, 0.0, EntryMode.FLOWS_ONLY)
+        hit = None
+        for ft in tuples:
+            hit = table.lookup(7, ft)
+        for ft in tuples:
+            table.remove(7, ft)
+        return hit
+
+    return op, None, len(tuples) * 3
+
+
+def _setup_engine_dispatch():
+    n_dispatch = 2000
+
+    def op() -> object:
+        engine = Engine()
+        # Background future work keeps the heap non-trivial, as in a real
+        # run where timers and links always have pending entries.
+        for i in range(64):
+            engine.call_at(1e6 + i, float)
+        state = {"count": 0}
+
+        def tick() -> None:
+            state["count"] += 1
+            if state["count"] < n_dispatch:
+                engine.call_soon(tick)
+
+        def proc():
+            for _ in range(50):
+                yield None           # cooperative yield -> call_soon
+
+        for _ in range(4):
+            engine.process(proc())
+        engine.call_soon(tick)
+        engine.run(until=1.0)
+        return state["count"]
+
+    return op, _legacy_flags(op), n_dispatch + 200
+
+
+def _setup_packet_codec():
+    inner = Packet.tcp(IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+                       1234, 80, payload=b"x" * 64)
+    wrapped = make_underlay_transport(
+        MacAddress(1), MacAddress(2), IPv4Address("172.16.0.1"),
+        IPv4Address("172.16.0.2"), inner, vni=7)
+    wire = wrapped.encode()
+    batch = 16
+
+    def op() -> object:
+        out = None
+        for _ in range(batch):
+            out = Packet.decode(wire, first_layer="ethernet").encode()
+        assert out == wire
+        return out
+
+    return op, None, batch
+
+
+def _setup_packet_copy_fivetuple():
+    inner = Packet.tcp(IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+                       1234, 80, payload=b"x" * 64)
+    wrapped = make_underlay_transport(
+        MacAddress(1), MacAddress(2), IPv4Address("172.16.0.1"),
+        IPv4Address("172.16.0.2"), inner, vni=7)
+    batch = 32
+
+    def op() -> object:
+        out = None
+        for _ in range(batch):
+            hop = wrapped.copy()
+            out = (hop.five_tuple(), hop.five_tuple(),
+                   hop.wire_length, hop.wire_length)
+        return out
+
+    return op, _legacy_flags(op), batch
+
+
+def _legacy_percentile_summary(data) -> Dict[str, float]:
+    """The pre-overhaul implementation: one full sort per label."""
+    summary = {}
+    for label, q in STANDARD_LABELS:
+        if q < 0:
+            summary[label] = sum(data) / len(data) if data else 0.0
+        else:
+            summary[label] = percentile(data, q) if data else 0.0
+    return summary
+
+
+def _setup_percentile_summary():
+    rng = random.Random(5)
+    data = [rng.expovariate(1.0) for _ in range(4000)]
+
+    def optimized() -> object:
+        return percentile_summary(data)
+
+    def legacy() -> object:
+        return _legacy_percentile_summary(data)
+
+    assert optimized() == legacy()
+    return optimized, legacy, 1
+
+
+BENCHES: Tuple[MicroBench, ...] = (
+    MicroBench("slow_path_lookup",
+               "full 5-table chain lookup, 240 ACL rules (Table A1's op)",
+               _setup_slow_path_lookup),
+    MicroBench("acl_verdict",
+               "ACL verdict for both directions, 240 rules, worst-case miss",
+               _setup_acl_verdict),
+    MicroBench("session_table",
+               "session-table insert + exact-match hit + remove",
+               _setup_session_table),
+    MicroBench("engine_dispatch",
+               "same-time callback dispatch with a non-trivial heap",
+               _setup_engine_dispatch),
+    MicroBench("packet_codec",
+               "VXLAN overlay packet decode+encode round trip",
+               _setup_packet_codec),
+    MicroBench("packet_copy_fivetuple",
+               "per-hop packet copy + repeated flow-key/wire-length reads",
+               _setup_packet_copy_fivetuple),
+    MicroBench("percentile_summary",
+               "avg/P50..P9999 summary over 4000 samples",
+               _setup_percentile_summary),
+)
+
+
+# -- measurement --------------------------------------------------------------
+
+
+def _ops_per_sec(fn: Callable[[], object], ops_per_call: int,
+                 target_seconds: float) -> float:
+    fn()                              # warmup / lazy-build outside the clock
+    calls = 1
+    while True:
+        start = perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = perf_counter() - start
+        if elapsed >= target_seconds:
+            return calls * ops_per_call / elapsed
+        calls *= 2
+
+
+def calibration_loop() -> int:
+    """A fixed pure-python loop used to normalize ops/sec across machines."""
+    acc = 0
+    for i in range(10_000):
+        acc = (acc + i * i) & 0xFFFFFF
+    return acc
+
+
+def run_bench(bench: MicroBench,
+              target_seconds: float = 0.25) -> Dict[str, Optional[float]]:
+    optimized, legacy, ops = bench.setup()
+    result: Dict[str, Optional[float]] = {
+        "description": bench.description,
+        "ops_per_sec": _ops_per_sec(optimized, ops, target_seconds),
+        "baseline_ops_per_sec": None,
+        "speedup": None,
+    }
+    if legacy is not None:
+        baseline = _ops_per_sec(legacy, ops, target_seconds)
+        result["baseline_ops_per_sec"] = baseline
+        result["speedup"] = result["ops_per_sec"] / baseline
+    return result
+
+
+def run_all(target_seconds: float = 0.25) -> Dict[str, Dict]:
+    calibration = _ops_per_sec(calibration_loop, 10_000, target_seconds)
+    results: Dict[str, Dict] = {}
+    for bench in BENCHES:
+        entry = run_bench(bench, target_seconds)
+        entry["normalized"] = entry["ops_per_sec"] / calibration
+        results[bench.name] = entry
+    results["_calibration_ops_per_sec"] = calibration
+    return results

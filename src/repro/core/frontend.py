@@ -147,6 +147,7 @@ class FrontendInstance:
                 return
             if pre_actions.tx.nat_src is not None:
                 packet.inner_ipv4().src = pre_actions.tx.nat_src
+                packet.invalidate_flow_cache()
             if (self.vnic.stateful_decap
                     and state.decap_overlay_src is not None):
                 # §5.2: the response must return to the recorded overlay
@@ -193,6 +194,7 @@ class FrontendInstance:
                 return False
             packet.meta["nat_original_dst"] = inner_ip.dst
             inner_ip.dst = internal
+            packet.invalidate_flow_cache()
         pre_actions, cycles, _was_miss = self._flows_for(packet, Direction.RX)
         if pre_actions is None:
             return True

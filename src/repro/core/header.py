@@ -161,4 +161,5 @@ def unwrap_nezha_hop(packet: Packet) -> NezhaMeta:
         packet.layers[:index + 1] = []
     else:
         packet.layers[:index] = []  # keep the NSH layer as placeholder
+    packet.invalidate_flow_cache()  # layer surgery bypassed Packet.decap
     return meta

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 # The percentile labels the paper reports throughout (Fig 4, Tables 1/4).
@@ -15,13 +16,8 @@ STANDARD_LABELS: Tuple[Tuple[str, float], ...] = (
 )
 
 
-def percentile(data: Sequence[float], q: float) -> float:
-    """The q-th percentile (0..100), linear interpolation between ranks."""
-    if not data:
-        raise ValueError("percentile of empty data")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q out of range: {q}")
-    ordered = sorted(data)
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    """The q-th percentile of already-sorted data (the core interpolation)."""
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -34,19 +30,38 @@ def percentile(data: Sequence[float], q: float) -> float:
     return min(max(value, ordered[lo]), ordered[hi])
 
 
+def percentile(data: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100), linear interpolation between ranks."""
+    if not data:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q out of range: {q}")
+    return _percentile_of_sorted(sorted(data), q)
+
+
 def percentile_summary(data: Sequence[float]) -> Dict[str, float]:
-    """avg/P50/P90/P99/P999/P9999 — the paper's standard row."""
-    summary = {}
+    """avg/P50/P90/P99/P999/P9999 — the paper's standard row.
+
+    Sorts once and serves every percentile label from the same ordered
+    copy (the mean still sums the data in its original order, so results
+    are bit-identical to per-label ``percentile`` calls).
+    """
+    summary: Dict[str, float] = {}
+    ordered: List[float] = sorted(data) if data else []
     for label, q in STANDARD_LABELS:
         if q < 0:
             summary[label] = sum(data) / len(data) if data else 0.0
         else:
-            summary[label] = percentile(data, q) if data else 0.0
+            summary[label] = _percentile_of_sorted(ordered, q) if data else 0.0
     return summary
 
 
 class Cdf:
-    """An empirical CDF over accumulated samples."""
+    """An empirical CDF over accumulated samples.
+
+    Sorting is deferred and cached: every quantile/summary/points call
+    after a mutation pays one sort, subsequent calls reuse it.
+    """
 
     def __init__(self, samples: Iterable[float] = ()) -> None:
         self._samples: List[float] = list(samples)
@@ -73,12 +88,15 @@ class Cdf:
         if not self._samples:
             raise ValueError("empty CDF")
         self._ensure_sorted()
-        import bisect
-        return bisect.bisect_right(self._samples, threshold) / len(self._samples)
+        return bisect_right(self._samples, threshold) / len(self._samples)
 
     def quantile(self, q: float) -> float:
+        if not self._samples:
+            raise ValueError("percentile of empty data")
+        if not 0.0 <= q * 100.0 <= 100.0:
+            raise ValueError(f"q out of range: {q * 100.0}")
         self._ensure_sorted()
-        return percentile(self._samples, q * 100.0)
+        return _percentile_of_sorted(self._samples, q * 100.0)
 
     def points(self, n: int = 100) -> List[Tuple[float, float]]:
         """(value, cumulative fraction) pairs for plotting/printing."""
@@ -94,4 +112,5 @@ class Cdf:
         return out
 
     def summary(self) -> Dict[str, float]:
+        self._ensure_sorted()
         return percentile_summary(self._samples)

@@ -94,6 +94,7 @@ class NatGatewayApp:
         # Emit toward the client via the internal vNIC; the inner source
         # stays the external peer's address, as real NAT return traffic does.
         back.inner_ipv4().src = packet.inner_ipv4().src
+        back.invalidate_flow_cache()
         self.forwarded_in += 1
         self.vm.send(self.internal, back)
 

@@ -24,7 +24,8 @@ _PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
 class FiveTuple:
     """(src ip, dst ip, protocol, src port, dst port) — the flow key."""
 
-    __slots__ = ("src_ip", "dst_ip", "proto", "src_port", "dst_port")
+    __slots__ = ("src_ip", "dst_ip", "proto", "src_port", "dst_port",
+                 "_hash")
 
     def __init__(
         self,
@@ -39,6 +40,10 @@ class FiveTuple:
         self.proto = int(proto)
         self.src_port = int(src_port)
         self.dst_port = int(dst_port)
+        # Tuples are immutable, so the dict hash — recomputed on every
+        # session-table probe otherwise — is precomputed once.
+        self._hash = hash((self.src_ip, self.dst_ip, self.proto,
+                           self.src_port, self.dst_port))
 
     def reversed(self) -> "FiveTuple":
         """The same session seen from the other direction."""
@@ -80,8 +85,7 @@ class FiveTuple:
         )
 
     def __hash__(self) -> int:
-        return hash((self.src_ip, self.dst_ip, self.proto,
-                     self.src_port, self.dst_port))
+        return self._hash
 
     def __repr__(self) -> str:
         proto = _PROTO_NAMES.get(self.proto, str(self.proto))

@@ -16,6 +16,7 @@ it never hits the wire.
 
 from __future__ import annotations
 
+from copy import copy as _shallow_copy
 from typing import Any, Dict, List, Optional, Tuple, Type, TypeVar, Union
 
 from repro.errors import DecodeError, PacketError
@@ -37,9 +38,20 @@ H = TypeVar("H")
 
 
 class Packet:
-    """An ordered header stack (outer first) and a payload."""
+    """An ordered header stack (outer first) and a payload.
 
-    __slots__ = ("layers", "payload", "meta")
+    ``five_tuple()`` and ``wire_length`` are memoized: both walk the layer
+    stack, and the data path consults them several times per hop. The
+    memo is invalidated by :meth:`encap`/:meth:`decap`/:meth:`decap_until`;
+    code that mutates header fields in place (the NAT rewrites) must call
+    :meth:`invalidate_flow_cache` afterwards (see DESIGN.md §3).
+    """
+
+    __slots__ = ("layers", "payload", "meta", "_ft", "_wire")
+
+    #: Class-level switch for the five_tuple/wire_length memo. Tests flip
+    #: it to prove memoization changes no simulation outputs.
+    memoize: bool = True
 
     def __init__(self, layers: List[Header], payload: bytes = b"",
                  meta: Optional[Dict[str, Any]] = None) -> None:
@@ -48,6 +60,8 @@ class Packet:
         self.layers: List[Header] = list(layers)
         self.payload = payload
         self.meta: Dict[str, Any] = meta if meta is not None else {}
+        self._ft: Optional[FiveTuple] = None
+        self._wire: Optional[int] = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -116,13 +130,26 @@ class Packet:
         raise PacketError("packet has no L4 header")
 
     def five_tuple(self) -> FiveTuple:
-        """The innermost flow key (the tenant's 5-tuple)."""
+        """The innermost flow key (the tenant's 5-tuple); memoized."""
+        ft = self._ft
+        if ft is not None and self.memoize:
+            return ft
         ip = self.inner_ipv4()
         l4 = self.inner_l4()
         if isinstance(l4, (TcpHeader, UdpHeader)):
-            return FiveTuple(ip.src, ip.dst, ip.proto, l4.src_port, l4.dst_port)
-        return FiveTuple(ip.src, ip.dst, ip.proto,
-                         l4.identifier, l4.identifier)
+            ft = FiveTuple(ip.src, ip.dst, ip.proto,
+                           l4.src_port, l4.dst_port)
+        else:
+            ft = FiveTuple(ip.src, ip.dst, ip.proto,
+                           l4.identifier, l4.identifier)
+        self._ft = ft
+        return ft
+
+    def invalidate_flow_cache(self) -> None:
+        """Drop the memoized flow key / wire length after an in-place
+        header mutation (NAT rewrites, layer surgery)."""
+        self._ft = None
+        self._wire = None
 
     def vni(self) -> Optional[int]:
         vxlan = self.find(VxlanHeader)
@@ -136,6 +163,8 @@ class Packet:
     def encap(self, *outer_layers: Header) -> "Packet":
         """Push extra outer headers (given outer-first); returns self."""
         self.layers[:0] = list(outer_layers)
+        self._ft = None
+        self._wire = None
         return self
 
     def decap(self, count: int = 1) -> List[Header]:
@@ -143,6 +172,8 @@ class Packet:
         if count >= len(self.layers):
             raise PacketError("decap would remove every header")
         removed, self.layers = self.layers[:count], self.layers[count:]
+        self._ft = None
+        self._wire = None
         return removed
 
     def decap_until(self, header_type: Type[Header]) -> List[Header]:
@@ -152,20 +183,28 @@ class Packet:
             if len(self.layers) == 1:
                 raise PacketError(f"no {header_type.__name__} layer to decap to")
             removed.append(self.layers.pop(0))
+        if removed:
+            self._ft = None
+            self._wire = None
         return removed
 
     def copy(self) -> "Packet":
         """A shallow-header copy (headers re-decoded from bytes would be
         equal); meta is copied so per-hop annotations do not alias."""
-        import copy as _copy
-        return Packet([_copy.copy(layer) for layer in self.layers],
+        return Packet([_shallow_copy(layer) for layer in self.layers],
                       self.payload, dict(self.meta))
 
     # -- wire form --------------------------------------------------------------
 
     @property
     def wire_length(self) -> int:
-        return sum(layer.wire_length for layer in self.layers) + len(self.payload)
+        wire = self._wire
+        if wire is not None and self.memoize:
+            return wire
+        wire = sum(layer.wire_length
+                   for layer in self.layers) + len(self.payload)
+        self._wire = wire
+        return wire
 
     def encode(self) -> bytes:
         return b"".join(layer.encode() for layer in self.layers) + self.payload

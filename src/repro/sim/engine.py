@@ -15,7 +15,9 @@ a TCP client, the controller's reconciliation loop are all processes.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import (Any, Callable, Deque, Generator, Iterable, List, Optional,
+                    Tuple)
 
 from repro.errors import SimulationError
 
@@ -213,17 +215,33 @@ class Process:
 
 
 class Engine:
-    """The event loop: a time-ordered heap of callbacks.
+    """The event loop: a time-ordered heap plus a same-time micro-queue.
 
-    ``run(until=...)`` executes callbacks in time order until the heap is
-    empty or virtual time would pass ``until``. The engine is deterministic:
-    simultaneous callbacks run in scheduling order (FIFO via a sequence
-    counter).
+    ``run(until=...)`` executes callbacks in time order until nothing is
+    queued or virtual time would pass ``until``. The engine is
+    deterministic: simultaneous callbacks run in scheduling order (FIFO).
+
+    Callbacks scheduled *at the current instant* — ``call_soon``, a
+    ``call_after(0, ...)``, an event waking its waiters — are the dominant
+    case (process resumes, event waiters), so they bypass the heap through
+    a FIFO micro-queue instead of paying ``heappush``/``heappop`` churn.
+    Ordering is unchanged: heap entries for the current instant were
+    necessarily scheduled at an earlier time (lower sequence numbers than
+    anything enqueued now), so draining the heap's current-time entries
+    before the micro-queue reproduces the exact ``(time, seq)`` total
+    order of a pure-heap engine. ``Engine.micro_queue = False`` restores
+    the pure-heap path; the determinism regression tests run both and
+    require identical traces.
     """
+
+    #: Class-level switch for the same-time FIFO micro-queue. Tests flip it
+    #: to prove the optimized scheduler changes no simulation outputs.
+    micro_queue: bool = True
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._ready: Deque[Tuple[Callable[..., None], tuple]] = deque()
         self._seq = 0
         self._crashes: List[Tuple[Process, BaseException]] = []
         self.strict = True
@@ -243,6 +261,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self._now}"
             )
+        if when == self._now and self.micro_queue:
+            self._ready.append((fn, args))
+            return
         heapq.heappush(self._heap, (when, self._seq, fn, args))
         self._seq += 1
 
@@ -252,7 +273,10 @@ class Engine:
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current time (after pending ties)."""
-        self.call_at(self._now, fn, *args)
+        if self.micro_queue:
+            self._ready.append((fn, args))
+        else:
+            self.call_at(self._now, fn, *args)
 
     # -- process / event construction ---------------------------------------
 
@@ -297,13 +321,22 @@ class Engine:
         processes with no waiters raise at the end of the run when the
         engine is ``strict`` (the default).
         """
-        while self._heap:
-            when, _seq, fn, args = self._heap[0]
+        heap = self._heap
+        ready = self._ready
+        while heap or ready:
+            # Heap entries for the current instant carry lower sequence
+            # numbers than anything in the micro-queue (they predate the
+            # clock reaching this instant), so they go first.
+            take_heap = bool(heap) and (not ready or heap[0][0] == self._now)
+            when = heap[0][0] if take_heap else self._now
             if until is not None and when > until:
                 self._now = until
                 break
-            heapq.heappop(self._heap)
-            self._now = when
+            if take_heap:
+                when, _seq, fn, args = heapq.heappop(heap)
+                self._now = when
+            else:
+                fn, args = ready.popleft()
             fn(*args)
         else:
             if until is not None and until > self._now:
@@ -317,17 +350,22 @@ class Engine:
 
     def step(self) -> bool:
         """Execute exactly one pending callback. Returns False if none left."""
-        if not self._heap:
-            return False
-        when, _seq, fn, args = heapq.heappop(self._heap)
-        self._now = when
-        fn(*args)
-        return True
+        if self._heap and (not self._ready
+                           or self._heap[0][0] == self._now):
+            when, _seq, fn, args = heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+            return True
+        if self._ready:
+            fn, args = self._ready.popleft()
+            fn(*args)
+            return True
+        return False
 
     @property
     def pending(self) -> int:
         """Number of callbacks still queued."""
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
 
     # -- crash bookkeeping ---------------------------------------------------
 

@@ -26,6 +26,7 @@ CPS as the paper states.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 KB = 1024
@@ -91,15 +92,23 @@ class CostModel:
         """Full local-session establishment cost (flow + state inserts)."""
         return self.flow_insert_cycles + self.state_insert_cycles
 
-    def lookup_cycles(self, n_tables: int, n_acl_rules: int,
-                      packet_bytes: int) -> float:
-        """Cycles for one slow-path rule-table lookup (Table A1's op)."""
-        import math
+    def lookup_cycles_static(self, n_tables: int, n_acl_rules: int) -> float:
+        """The packet-size-independent part of :meth:`lookup_cycles`.
+
+        Constant while the rule-table chain is unchanged, so
+        :class:`~repro.vswitch.slow_path.SlowPath` caches it and adds only
+        the per-byte term per lookup.
+        """
         extra = max(0, n_tables - 5) * self.slow_path_per_extra_table
         tier = self.acl_tier_cycles * (
             1.0 - math.exp(-n_acl_rules / self.acl_tier_scale))
         return (self.slow_path_base + extra + tier
-                + n_acl_rules * self.acl_cycles_per_rule
+                + n_acl_rules * self.acl_cycles_per_rule)
+
+    def lookup_cycles(self, n_tables: int, n_acl_rules: int,
+                      packet_bytes: int) -> float:
+        """Cycles for one slow-path rule-table lookup (Table A1's op)."""
+        return (self.lookup_cycles_static(n_tables, n_acl_rules)
                 + packet_bytes * self.cycles_per_byte)
 
     def session_entry_bytes(self, state_bytes: int = None) -> int:

@@ -10,6 +10,7 @@ VXLAN routing, vNIC-server mapping (§2.2.2) — and advanced features
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,9 +31,29 @@ class LookupContext:
 
 
 class RuleTable:
-    """Base class: named, sized, and applied in chain order."""
+    """Base class: named, sized, and applied in chain order.
+
+    Tables notify the chains that contain them (via :meth:`_bump`) whenever
+    a mutator runs, so a :class:`~repro.vswitch.slow_path.SlowPath` can
+    cache chain-level aggregates (rule counts, memory, lookup cost) and
+    invalidate them only when something actually changes. Every mutator
+    method MUST call ``self._bump()`` — mutating a table's internals
+    directly bypasses the invalidation (see DESIGN.md §3).
+    """
 
     name = "table"
+
+    def __init__(self) -> None:
+        self._chains: List = []
+
+    def _attach(self, chain) -> None:
+        """Register a chain whose caches depend on this table."""
+        self._chains.append(chain)
+
+    def _bump(self) -> None:
+        """Invalidate every dependent chain cache after a mutation."""
+        for chain in self._chains:
+            chain.invalidate_caches()
 
     def apply(self, ctx: LookupContext, pre: PreActions) -> None:
         raise NotImplementedError
@@ -50,6 +71,19 @@ class RuleTable:
 # -- ACL ---------------------------------------------------------------------
 
 
+def _prefix_mask(prefix: Optional[IPv4Address],
+                 length: int) -> Tuple[int, int]:
+    """(mask, masked prefix value) for integer prefix matching.
+
+    ``addr & mask == net`` is equivalent to ``addr.in_prefix(prefix, len)``
+    but costs one AND + compare instead of two shifts through method calls.
+    """
+    if prefix is None:
+        return 0, 0
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    return mask, IPv4Address(prefix).value & mask
+
+
 @dataclass
 class AclRule:
     """One prioritized ACL rule with prefix and port-range matching."""
@@ -65,14 +99,23 @@ class AclRule:
     src_port_range: Optional[Tuple[int, int]] = None
     dst_port_range: Optional[Tuple[int, int]] = None
 
+    def __post_init__(self) -> None:
+        self._src_mask, self._src_net = _prefix_mask(self.src_prefix,
+                                                     self.src_prefix_len)
+        self._dst_mask, self._dst_net = _prefix_mask(self.dst_prefix,
+                                                     self.dst_prefix_len)
+
     def matches(self, ft: FiveTuple) -> bool:
         if self.proto is not None and ft.proto != self.proto:
             return False
-        if self.src_prefix is not None and not ft.src_ip.in_prefix(
-                self.src_prefix, self.src_prefix_len):
+        return self._matches_addrs_ports(ft)
+
+    def _matches_addrs_ports(self, ft: FiveTuple) -> bool:
+        """Prefix/port matching only — proto and direction are already
+        guaranteed by the bucket an :class:`AclTable` pulled the rule from."""
+        if ft.src_ip.value & self._src_mask != self._src_net:
             return False
-        if self.dst_prefix is not None and not ft.dst_ip.in_prefix(
-                self.dst_prefix, self.dst_prefix_len):
+        if ft.dst_ip.value & self._dst_mask != self._dst_net:
             return False
         if self.src_port_range is not None:
             lo, hi = self.src_port_range
@@ -96,18 +139,67 @@ class AclTable(RuleTable):
 
     name = "acl"
 
+    #: Class-level switch for the (proto, direction)-bucketed match path.
+    #: Tests flip it to prove bucketing changes no verdicts.
+    bucketed: bool = True
+
     def __init__(self, rules: List[AclRule] = None,
                  default_verdict: Verdict = Verdict.ACCEPT,
                  rule_bytes: int = 64) -> None:
+        super().__init__()
         self.rules = sorted(rules or [], key=lambda r: -r.priority)
         self.default_verdict = default_verdict
         self.rule_bytes = rule_bytes
+        # direction -> {proto or None -> priority-ordered candidate rules}.
+        # Wildcard-proto rules are replicated into every proto bucket; the
+        # None bucket serves protocols with no specific rules. Rebuilt
+        # lazily after mutations.
+        self._buckets: Optional[Dict[Direction,
+                                     Dict[Optional[int],
+                                          List[AclRule]]]] = None
 
     def add_rule(self, rule: AclRule) -> None:
-        self.rules.append(rule)
-        self.rules.sort(key=lambda r: -r.priority)
+        # insort_right on the negated priority == stable append-then-sort:
+        # equal priorities keep insertion order.
+        insort(self.rules, rule, key=lambda r: -r.priority)
+        self._buckets = None
+        self._bump()
+
+    def _build_buckets(self) -> None:
+        buckets: Dict[Direction, Dict[Optional[int], List[AclRule]]] = {}
+        protos = {r.proto for r in self.rules if r.proto is not None}
+        for direction in (Direction.TX, Direction.RX):
+            per: Dict[Optional[int], List[AclRule]] = {None: []}
+            for proto in protos:
+                per[proto] = []
+            for rule in self.rules:     # already priority-ordered
+                if rule.direction is not None and rule.direction != direction:
+                    continue
+                if rule.proto is None:
+                    for bucket in per.values():
+                        bucket.append(rule)
+                else:
+                    per[rule.proto].append(rule)
+            buckets[direction] = per
+        self._buckets = buckets
 
     def _verdict(self, ft: FiveTuple, direction: Direction) -> Verdict:
+        if not self.bucketed:
+            return self._verdict_scan(ft, direction)
+        if self._buckets is None:
+            self._build_buckets()
+        per = self._buckets[direction]
+        bucket = per.get(ft.proto)
+        if bucket is None:
+            bucket = per[None]
+        for rule in bucket:
+            if rule._matches_addrs_ports(ft):
+                return rule.verdict
+        return self.default_verdict
+
+    def _verdict_scan(self, ft: FiveTuple, direction: Direction) -> Verdict:
+        """Reference full-scan matcher (the pre-bucketing implementation);
+        kept for the A/B equivalence tests and the benchmark baseline."""
         for rule in self.rules:
             if rule.direction is not None and rule.direction != direction:
                 continue
@@ -139,6 +231,7 @@ class RouteTable(RuleTable):
     name = "route"
 
     def __init__(self, route_bytes: int = 32) -> None:
+        super().__init__()
         # prefix length -> {masked prefix value -> blackhole?}
         self._by_len: Dict[int, Dict[int, bool]] = {}
         self._count = 0
@@ -153,6 +246,7 @@ class RouteTable(RuleTable):
         if masked not in bucket:
             self._count += 1
         bucket[masked] = blackhole
+        self._bump()
 
     def lookup(self, dst: IPv4Address) -> Optional[bool]:
         """Returns blackhole flag of the longest match, or None."""
@@ -207,8 +301,13 @@ class QosTable(RuleTable):
     name = "qos"
 
     def __init__(self, rules: List[QosRule] = None, rule_bytes: int = 48) -> None:
+        super().__init__()
         self.rules = sorted(rules or [], key=lambda r: -r.priority)
         self.rule_bytes = rule_bytes
+
+    def add_rule(self, rule: QosRule) -> None:
+        insort(self.rules, rule, key=lambda r: -r.priority)
+        self._bump()
 
     def apply(self, ctx: LookupContext, pre: PreActions) -> None:
         for rule in self.rules:
@@ -292,6 +391,7 @@ class MappingTable(RuleTable):
     name = "vnic_server_mapping"
 
     def __init__(self, entry_bytes: int = 2048) -> None:
+        super().__init__()
         self._entries: Dict[Tuple[int, int], MappingEntry] = {}
         self.entry_bytes = entry_bytes
         self.hash_seed = 0
@@ -299,9 +399,11 @@ class MappingTable(RuleTable):
     def set_entry(self, vni: int, tenant_ip: IPv4Address,
                   entry: MappingEntry) -> None:
         self._entries[(vni, IPv4Address(tenant_ip).value)] = entry
+        self._bump()
 
     def remove_entry(self, vni: int, tenant_ip: IPv4Address) -> None:
         self._entries.pop((vni, IPv4Address(tenant_ip).value), None)
+        self._bump()
 
     def lookup(self, vni: int, tenant_ip: IPv4Address) -> Optional[MappingEntry]:
         return self._entries.get((vni, IPv4Address(tenant_ip).value))
@@ -336,12 +438,14 @@ class PolicyRouteTable(RuleTable):
     name = "policy_route"
 
     def __init__(self, rule_bytes: int = 40) -> None:
+        super().__init__()
         self._overrides: List[Tuple[IPv4Address, int, IPv4Address, MacAddress]] = []
         self.rule_bytes = rule_bytes
 
     def add_override(self, prefix: IPv4Address, length: int,
                      next_hop_ip: IPv4Address, next_hop_mac: MacAddress) -> None:
         self._overrides.append((prefix, length, next_hop_ip, next_hop_mac))
+        self._bump()
 
     def apply(self, ctx: LookupContext, pre: PreActions) -> None:
         for prefix, length, hop_ip, hop_mac in self._overrides:
@@ -363,12 +467,14 @@ class MirrorTable(RuleTable):
     name = "mirror"
 
     def __init__(self, rule_bytes: int = 40) -> None:
+        super().__init__()
         self._rules: List[Tuple[IPv4Address, int, IPv4Address]] = []
         self.rule_bytes = rule_bytes
 
     def add_mirror(self, prefix: IPv4Address, length: int,
                    mirror_to: IPv4Address) -> None:
         self._rules.append((prefix, length, mirror_to))
+        self._bump()
 
     def apply(self, ctx: LookupContext, pre: PreActions) -> None:
         for prefix, length, target in self._rules:
@@ -392,15 +498,18 @@ class FlowLogTable(RuleTable):
     name = "flow_log"
 
     def __init__(self, rule_bytes: int = 40) -> None:
+        super().__init__()
         self._rules: List[Tuple[IPv4Address, int, StatsPolicy]] = []
         self.rule_bytes = rule_bytes
 
     def add_policy(self, prefix: IPv4Address, length: int,
                    policy: StatsPolicy) -> None:
         self._rules.append((prefix, length, policy))
+        self._bump()
 
     def clear(self) -> None:
         self._rules.clear()
+        self._bump()
 
     def apply(self, ctx: LookupContext, pre: PreActions) -> None:
         for prefix, length, policy in self._rules:
@@ -431,6 +540,7 @@ class Nat44Table(RuleTable):
     name = "nat44"
 
     def __init__(self, entry_bytes: int = 48) -> None:
+        super().__init__()
         self._by_internal: Dict[int, IPv4Address] = {}
         self._by_external: Dict[int, IPv4Address] = {}
         self.entry_bytes = entry_bytes
@@ -440,6 +550,7 @@ class Nat44Table(RuleTable):
         internal, external = IPv4Address(internal), IPv4Address(external)
         self._by_internal[internal.value] = external
         self._by_external[external.value] = internal
+        self._bump()
 
     def external_for(self, internal: IPv4Address) -> Optional[IPv4Address]:
         return self._by_internal.get(IPv4Address(internal).value)

@@ -319,6 +319,7 @@ class VSwitch:
             # one entry.
             packet.meta["nat_original_dst"] = inner_ip.dst
             inner_ip.dst = vnic.tenant_ip
+            packet.invalidate_flow_cache()
         self.datapath_for(vnic).handle_rx(vnic, packet, outer_src)
 
     # -- underlay transmission helper ----------------------------------------------------------
@@ -436,6 +437,7 @@ class LocalDatapath(Datapath):
                 return
             if pre.nat_src is not None:
                 packet.inner_ipv4().src = pre.nat_src
+                packet.invalidate_flow_cache()
             if (vnic.stateful_decap
                     and entry.state.decap_overlay_src is not None):
                 action.next_hop_ip = entry.state.decap_overlay_src

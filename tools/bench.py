@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Run the fast-path microbenchmarks and track them in BENCH_fastpath.json.
+
+Full run (regenerates the tracked baseline)::
+
+    PYTHONPATH=src python tools/bench.py
+
+CI smoke run (quick pass + regression gate against the committed JSON)::
+
+    PYTHONPATH=src python tools/bench.py --smoke
+
+The smoke gate is machine-robust: raw ops/sec moves with the host, so it
+never compares ops/sec across runs directly. For benches with a legacy
+twin it compares *speedups* (optimized vs legacy on the same machine in
+the same run); for the rest it compares throughput normalized by a fixed
+pure-python calibration loop. Either dropping more than ``--tolerance``
+(default 30%) below the committed baseline fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import run_all  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
+SCHEMA = "bench_fastpath/v1"
+
+
+def _fmt(value) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def print_table(results: dict) -> None:
+    print(f"{'bench':<24} {'ops/sec':>14} {'legacy ops/sec':>14} "
+          f"{'speedup':>8} {'normalized':>10}")
+    for name, entry in results.items():
+        if name.startswith("_"):
+            continue
+        speedup = entry["speedup"]
+        print(f"{name:<24} {_fmt(entry['ops_per_sec']):>14} "
+              f"{_fmt(entry['baseline_ops_per_sec']):>14} "
+              f"{speedup and format(speedup, '.2f') or '-':>8} "
+              f"{entry['normalized']:>10.5f}")
+    print(f"calibration: {_fmt(results['_calibration_ops_per_sec'])} ops/sec")
+
+
+def check_regressions(current: dict, baseline_doc: dict,
+                      tolerance: float) -> list:
+    """Compare a fresh run against the committed baseline; returns a list
+    of human-readable failures (empty = pass)."""
+    failures = []
+    floor = 1.0 - tolerance
+    for name, base in baseline_doc.get("benches", {}).items():
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: bench disappeared from the suite")
+            continue
+        if base.get("speedup") is not None:
+            if entry["speedup"] is None:
+                failures.append(f"{name}: lost its legacy twin")
+            elif entry["speedup"] < base["speedup"] * floor:
+                failures.append(
+                    f"{name}: speedup {entry['speedup']:.2f}x fell >"
+                    f"{tolerance:.0%} below baseline {base['speedup']:.2f}x")
+        else:
+            if entry["normalized"] < base["normalized"] * floor:
+                failures.append(
+                    f"{name}: normalized throughput {entry['normalized']:.5f}"
+                    f" fell >{tolerance:.0%} below baseline "
+                    f"{base['normalized']:.5f}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick run + regression gate against the "
+                             "committed JSON; does not rewrite it")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="baseline JSON path (default: %(default)s)")
+    parser.add_argument("--target-seconds", type=float, default=None,
+                        help="min measured wall time per bench "
+                             "(default: 0.25, or 0.05 with --smoke)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression for --smoke "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    target = args.target_seconds
+    if target is None:
+        target = 0.05 if args.smoke else 0.25
+
+    results = run_all(target_seconds=target)
+    print_table(results)
+
+    if args.smoke:
+        if not args.output.exists():
+            print(f"error: no baseline at {args.output}; run without "
+                  f"--smoke first", file=sys.stderr)
+            return 2
+        baseline_doc = json.loads(args.output.read_text())
+        failures = check_regressions(results, baseline_doc, args.tolerance)
+        if failures:
+            print("\nREGRESSIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nsmoke OK: no bench regressed >{args.tolerance:.0%} "
+              f"vs {args.output.name}")
+        return 0
+
+    calibration = results.pop("_calibration_ops_per_sec")
+    doc = {
+        "schema": SCHEMA,
+        "config": {
+            "target_seconds": target,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "calibration_ops_per_sec": calibration,
+        "benches": results,
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,15 +1,23 @@
-"""Fast-path microbenchmark definitions.
+"""Tracked benchmark definitions.
 
-Each bench is a (setup, optimized op, legacy op) triple over the hot
-paths the performance overhaul touched. ``tools/bench.py`` runs them and
-writes ``BENCH_fastpath.json``; ``benchmarks/test_micro.py`` runs the
-same ops under pytest-benchmark. Keeping the workloads in one module
-guarantees the tracked JSON and the pytest benches measure the same
-thing.
+Two layers:
+
+* **micro** — (setup, optimized op, legacy op) triples over the
+  per-packet hot paths; ``tools/bench.py`` runs them and writes
+  ``BENCH_fastpath.json``; ``benchmarks/test_micro.py`` runs the same
+  ops under pytest-benchmark.
+* **macro** — whole-experiment wall clocks, sequential vs process-pool
+  (``tools/bench.py --experiments`` → ``BENCH_experiments.json``).
+
+Keeping the workloads in one package guarantees the tracked JSONs and
+the pytest benches measure the same thing.
 """
 
 from repro.bench.micro import (BENCHES, MicroBench, calibration_loop,
                                run_bench, run_all)
+from repro.bench.macro import (MACRO_BENCHES, MacroBench, run_macro,
+                               run_macro_bench)
 
 __all__ = ["BENCHES", "MicroBench", "calibration_loop", "run_bench",
-           "run_all"]
+           "run_all", "MACRO_BENCHES", "MacroBench", "run_macro",
+           "run_macro_bench"]

@@ -1,0 +1,136 @@
+"""Macro wall-clock benchmarks: sequential vs parallel experiment runs.
+
+Complements the microbenchmarks in :mod:`repro.bench.micro`: instead of
+ops/sec on per-packet hot paths, each entry times a whole experiment
+sweep twice — ``jobs=1`` (the legacy in-process path) and ``jobs=N``
+(the process-pool fan-out) — and records both elapsed times, their
+ratio, and whether the two runs rendered byte-identical tables (they
+must; a mismatch is reported, not asserted, so a bench run can never
+crash on it).
+
+Raw seconds are machine-dependent and the speedup depends on the host's
+core count (recorded in the config block), so the tracked JSON is a
+provenance record, not a cross-machine gate — CI uploads it as a
+non-gating artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import default_jobs, sweep
+
+
+@dataclass
+class MacroBench:
+    """One macro bench: an experiment ``run`` plus scaled-down kwargs."""
+
+    name: str
+    description: str
+    module: str                 # import path under repro.experiments
+    quick_kwargs: Dict[str, object]
+    full_kwargs: Dict[str, object]
+
+    def kwargs(self, profile: str) -> Dict[str, object]:
+        return dict(self.quick_kwargs if profile == "quick"
+                    else self.full_kwargs)
+
+
+# Scaled parameter sets: "quick" finishes in a couple of minutes on one
+# core (CI-friendly); "full" uses each experiment's paper-fidelity
+# defaults.
+MACRO_BENCHES: List[MacroBench] = [
+    MacroBench(
+        "fig2", "8 saturated-VM samples (4 in quick mode)", "fig2",
+        quick_kwargs=dict(n_vms=4, duration=0.6, concurrency_per_client=16),
+        full_kwargs=dict()),
+    MacroBench(
+        "fig9", "CPS sweep over FE counts", "fig9",
+        quick_kwargs=dict(fe_counts=(0, 1, 2, 4), duration=0.5, warmup=0.3,
+                          concurrency_per_client=16),
+        full_kwargs=dict()),
+    MacroBench(
+        "fig10", "CPS sweep over vCPU counts, with/without Nezha", "fig10",
+        quick_kwargs=dict(vcpu_counts=(16, 32, 64), duration=0.5, warmup=0.3,
+                          concurrency_per_client=16),
+        full_kwargs=dict()),
+    MacroBench(
+        "fig12", "probe-latency sweep over load levels", "fig12",
+        quick_kwargs=dict(load_levels=(0, 16, 48)),
+        full_kwargs=dict()),
+    MacroBench(
+        "tablea1", "rule-lookup throughput grid (24 cells)", "tablea1",
+        quick_kwargs=dict(lookups_per_cell=100),
+        full_kwargs=dict()),
+]
+
+# ``all --fast`` exercises the runner-level fan-out: whole experiments
+# in parallel, each sequential inside its worker.
+ALL_FAST_NAME = "all_fast"
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def run_macro_bench(bench: MacroBench, jobs: int,
+                    profile: str = "quick") -> Dict[str, object]:
+    """Time one experiment sequentially and with ``jobs`` workers."""
+    import importlib
+    module = importlib.import_module(f"repro.experiments.{bench.module}")
+    kwargs = bench.kwargs(profile)
+    sequential, sequential_s = _timed(lambda: module.run(jobs=1, **kwargs))
+    parallel, parallel_s = _timed(lambda: module.run(jobs=jobs, **kwargs))
+    return {
+        "description": bench.description,
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(sequential_s / parallel_s, 3) if parallel_s else None,
+        "rows": len(parallel.rows),
+        "identical_output": sequential.to_text() == parallel.to_text(),
+    }
+
+
+def run_all_fast(jobs: int, seed: int = 0) -> Dict[str, object]:
+    """Time the ``all --fast`` entry point sequentially vs pooled."""
+    from repro.experiments.runner import (FAST_EXPERIMENTS,
+                                          _experiment_point, run_experiment)
+
+    def sequential() -> List[str]:
+        return [run_experiment(name, seed, jobs=1)[0].to_text()
+                for name in FAST_EXPERIMENTS]
+
+    def parallel() -> List[str]:
+        return [text for text, _elapsed in
+                sweep([(name, seed) for name in FAST_EXPERIMENTS],
+                      _experiment_point, jobs=jobs)]
+
+    seq_texts, sequential_s = _timed(sequential)
+    par_texts, parallel_s = _timed(parallel)
+    return {
+        "description": "runner-level fan-out over the 11 fast experiments",
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(sequential_s / parallel_s, 3) if parallel_s else None,
+        "rows": len(par_texts),
+        "identical_output": seq_texts == par_texts,
+    }
+
+
+def run_macro(jobs: Optional[int] = None, profile: str = "quick",
+              include_all_fast: bool = True,
+              names: Optional[List[str]] = None) -> Dict[str, Dict]:
+    """Run the macro suite; returns ``{bench name: entry}``."""
+    jobs = default_jobs() if jobs is None else jobs
+    results: Dict[str, Dict] = {}
+    for bench in MACRO_BENCHES:
+        if names and bench.name not in names:
+            continue
+        results[bench.name] = run_macro_bench(bench, jobs, profile)
+    if include_all_fast and (not names or ALL_FAST_NAME in names):
+        results[ALL_FAST_NAME] = run_all_fast(jobs)
+    return results

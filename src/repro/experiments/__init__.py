@@ -5,6 +5,12 @@ the paper's artifact, with paper values attached for side-by-side
 comparison. The benchmarks in ``benchmarks/`` are thin wrappers that
 execute these and print the tables; EXPERIMENTS.md records the outcomes.
 
+Sweep-shaped experiments also expose a top-level ``run_point(point)``
+and accept ``run(..., jobs=N)``: points fan out over a process pool via
+:mod:`repro.experiments.parallel` and merge deterministically (every
+``jobs`` value renders byte-identical tables). The CLI in ``runner.py``
+exposes this as ``python -m repro.experiments <id> --jobs N``.
+
 | module   | paper artifact                                   |
 |----------|--------------------------------------------------|
 | fig2     | CPU of high-CPS VMs vs their vSwitches           |

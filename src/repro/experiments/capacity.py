@@ -23,7 +23,7 @@ Budget calibration (documented in EXPERIMENTS.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.host.vm import VmCostModel
 from repro.vswitch.costs import GB, MB, CostModel
@@ -149,3 +149,32 @@ class CapacityModel:
     def vnics_theoretical_max_gain(self, table_bytes: int = 2 * MB) -> float:
         """§6.2.1: 2MB minimum table / 2KB BE metadata = 1000x."""
         return table_bytes / self.cost_model.vnic_be_metadata_bytes
+
+
+# -- sweeps -------------------------------------------------------------------------
+
+def gain_point(point: "Tuple[CapacityModel, int]") -> dict:
+    """Sweep point: every capacity gain at one FE count.
+
+    The model is closed-form, so a point is cheap — the value of the
+    point-function shape is that capacity sweeps compose with the same
+    deterministic ``sweep()`` machinery (and pool workers) as the
+    packet-level experiments. ``n_fes == 0`` is the no-offload baseline.
+    """
+    model, n_fes = point
+    if n_fes == 0:
+        return {"n_fes": 0, "cps_gain": 1.0, "flows_gain": 1.0,
+                "vnics_gain": 1.0}
+    return {"n_fes": n_fes,
+            "cps_gain": model.cps_gain(n_fes),
+            "flows_gain": model.flows_gain(n_fes),
+            "vnics_gain": model.vnics_gain(n_fes)}
+
+
+def sweep_gains(fe_counts, model: Optional[CapacityModel] = None,
+                jobs: Optional[int] = 1) -> list:
+    """Capacity gains over a sweep of FE counts, in submission order."""
+    from repro.experiments.parallel import sweep
+    model = model or CapacityModel()
+    return sweep([(model, n_fes) for n_fes in fe_counts], gain_point,
+                 jobs=jobs)

@@ -37,12 +37,17 @@ class ExperimentResult:
     def _fmt(value: Any) -> str:
         if isinstance(value, float):
             if value == 0:
-                return "0"
-            if abs(value) >= 1000:
-                return f"{value:,.0f}"
-            if abs(value) >= 10:
-                return f"{value:.1f}"
-            return f"{value:.3g}"
+                return "0"  # covers -0.0 too: no stray sign
+            # Format the magnitude and re-attach the sign, so a negative
+            # value always renders exactly as "-" + its positive twin
+            # (same threshold bucket, same precision, same width + 1).
+            sign = "-" if value < 0 else ""
+            magnitude = abs(value)
+            if magnitude >= 1000:
+                return f"{sign}{magnitude:,.0f}"
+            if magnitude >= 10:
+                return f"{sign}{magnitude:.1f}"
+            return f"{sign}{magnitude:.3g}"
         return str(value)
 
     def to_text(self) -> str:

@@ -7,9 +7,10 @@ VM-kernel locks, not the network, now limit CPS.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.workloads import ClosedLoopCrr, measure_cps
 
@@ -30,19 +31,27 @@ def measure(vcpus: int, nezha: bool, duration: float, warmup: float,
     return measure_cps(testbed.engine, loops, warmup, duration)
 
 
+def run_point(point: Tuple[int, bool, float, float, int, int]) -> float:
+    """Sweep point: CPS for one (vcpus, nezha on/off) configuration."""
+    vcpus, nezha, duration, warmup, concurrency_per_client, seed = point
+    return measure(vcpus, nezha, duration, warmup,
+                   concurrency_per_client, seed)
+
+
 def run(vcpu_counts: Sequence[int] = (8, 16, 32, 48, 64),
         duration: float = 1.5, warmup: float = 1.0,
-        concurrency_per_client: int = 96, seed: int = 0) -> ExperimentResult:
+        concurrency_per_client: int = 96, seed: int = 0,
+        jobs: Optional[int] = 1) -> ExperimentResult:
     result = ExperimentResult(
         name="fig10",
         description="CPS vs #vCPU cores, with and without Nezha",
         columns=["vcpus", "cps_without", "cps_with", "gain"],
     )
-    for vcpus in vcpu_counts:
-        without = measure(vcpus, False, duration, warmup,
-                          concurrency_per_client, seed)
-        with_nezha = measure(vcpus, True, duration, warmup,
-                             concurrency_per_client, seed)
+    points = [(vcpus, nezha, duration, warmup, concurrency_per_client, seed)
+              for vcpus in vcpu_counts for nezha in (False, True)]
+    measured = sweep(points, run_point, jobs=jobs)
+    for index, vcpus in enumerate(vcpu_counts):
+        without, with_nezha = measured[2 * index], measured[2 * index + 1]
         result.add_row(vcpus=vcpus, cps_without=without,
                        cps_with=with_nezha, gain=with_nezha / without)
     result.note("expected shape: cps_without flat (vSwitch-bound); "

@@ -8,16 +8,24 @@ out to 8 FEs halves the FE load.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.metrics.timeseries import TimeSeries
 from repro.workloads import ClosedLoopCrr
 
 
-def run(duration: float = 14.0, sample_period: float = 0.25,
-        seed: int = 0) -> ExperimentResult:
+def run_point(point: Tuple[float, float, int]) -> Dict[str, Any]:
+    """Sweep point: the whole ramp/offload/scale-out simulation.
+
+    Fig 11 is one continuous time series, so there is a single point; it
+    still follows the point-function contract (own engine, plain-data
+    return) so the CLI can run it in a pool worker alongside other
+    experiments.
+    """
+    duration, sample_period, seed = point
     testbed = build_testbed(n_clients=4, n_idle=8, seed=seed)
     engine = testbed.engine
     be_series = TimeSeries("be_cpu")
@@ -72,14 +80,10 @@ def run(duration: float = 14.0, sample_period: float = 0.25,
     engine.process(sampler(), name="sampler")
     engine.run(until=duration)
 
-    result = ExperimentResult(
-        name="fig11",
-        description="BE / avg-FE CPU utilization during offload + scaling",
-        columns=["time_s", "be_cpu", "fe_cpu_avg"],
-    )
-    for (t, be), (_t2, fe) in zip(be_series.points, fe_series.points):
-        result.add_row(time_s=t, be_cpu=be, fe_cpu_avg=fe)
-
+    rows = [{"time_s": t, "be_cpu": be, "fe_cpu_avg": fe}
+            for (t, be), (_t2, fe) in zip(be_series.points,
+                                          fe_series.points)]
+    notes: List[str] = []
     handle = state["handle"]
     if handle is not None and handle.completed_at is not None:
         t_off = handle.completed_at
@@ -87,9 +91,25 @@ def run(duration: float = 14.0, sample_period: float = 0.25,
         post = [v for t, v in be_series.points
                 if t_off + 1.0 <= t < t_off + 3.0]
         if pre and post:
-            result.note(f"BE CPU before offload {max(pre):.0%} -> after "
-                        f"{sum(post) / len(post):.0%} "
-                        "(paper: ~70% -> ~10%)")
-        result.note(f"scale-out triggered: {state['scaled']} "
-                    f"(#FEs={len(handle.frontends)})")
+            notes.append(f"BE CPU before offload {max(pre):.0%} -> after "
+                         f"{sum(post) / len(post):.0%} "
+                         "(paper: ~70% -> ~10%)")
+        notes.append(f"scale-out triggered: {state['scaled']} "
+                     f"(#FEs={len(handle.frontends)})")
+    return {"rows": rows, "notes": notes}
+
+
+def run(duration: float = 14.0, sample_period: float = 0.25,
+        seed: int = 0, jobs: Optional[int] = 1) -> ExperimentResult:
+    outcome, = sweep([(duration, sample_period, seed)], run_point,
+                     jobs=jobs)
+    result = ExperimentResult(
+        name="fig11",
+        description="BE / avg-FE CPU utilization during offload + scaling",
+        columns=["time_s", "be_cpu", "fe_cpu_avg"],
+    )
+    for row in outcome["rows"]:
+        result.add_row(**row)
+    for note in outcome["notes"]:
+        result.note(note)
     return result

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.metrics.percentiles import percentile
 from repro.net.packet import Packet
@@ -72,17 +73,29 @@ def _measure(load_concurrency: int, nezha: bool, seed: int,
     return util, p50
 
 
+def run_point(point: Tuple[int, bool, int, float]) -> Tuple[float, float]:
+    """Sweep point: (vswitch cpu, P50 probe latency) for one
+    (load, nezha on/off) configuration."""
+    load_concurrency, nezha, seed, duration = point
+    return _measure(load_concurrency, nezha=nezha, seed=seed,
+                    duration=duration)
+
+
 def run(load_levels: Sequence[int] = (0, 8, 16, 32, 48, 64, 96),
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0, duration: float = 1.5,
+        jobs: Optional[int] = 1) -> ExperimentResult:
     result = ExperimentResult(
         name="fig12",
         description="probe latency (us) vs load, with/without Nezha",
         columns=["load_concurrency", "cpu_without", "latency_without_us",
                  "latency_with_us", "extra_hop_us"],
     )
-    for load in load_levels:
-        util_without, lat_without = _measure(load, nezha=False, seed=seed)
-        _util_with, lat_with = _measure(load, nezha=True, seed=seed)
+    points = [(load, nezha, seed, duration)
+              for load in load_levels for nezha in (False, True)]
+    measured = sweep(points, run_point, jobs=jobs)
+    for index, load in enumerate(load_levels):
+        util_without, lat_without = measured[2 * index]
+        _util_with, lat_with = measured[2 * index + 1]
         extra = (lat_with - lat_without) * 1e6
         result.add_row(load_concurrency=load,
                        cpu_without=util_without,

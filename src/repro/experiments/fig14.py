@@ -8,18 +8,20 @@ flows are affected (active-active).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.controller import FePlacement, HealthMonitor, NezhaController
 from repro.controller.controller import ControllerConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.workloads import ClosedLoopCrr
 
 
-def run(kill_at: float = 4.0, duration: float = 10.0,
-        bucket: float = 0.5, monitor_interval: float = 0.4,
-        seed: int = 0) -> ExperimentResult:
+def run_point(point: Tuple[float, float, float, float, int]) -> Dict[str, Any]:
+    """Sweep point: one crash/failover simulation (a single point — the
+    figure is one continuous loss-rate time series)."""
+    kill_at, duration, bucket, monitor_interval, seed = point
     testbed = build_testbed(n_clients=4, n_idle=6, seed=seed)
     engine = testbed.engine
 
@@ -66,19 +68,31 @@ def run(kill_at: float = 4.0, duration: float = 10.0,
     engine.call_at(engine.now + kill_at, victim.crash)
     testbed.run(duration)
 
+    notes: List[str] = []
+    lossy = [row["t"] for row in buckets if row["loss"] > 0.02]
+    if lossy:
+        notes.append(f"loss surge from ~{min(lossy):.1f}s to "
+                     f"~{max(lossy):.1f}s (duration "
+                     f"{max(lossy) - min(lossy) + bucket:.1f}s; paper: ~2s)")
+    notes.append(f"FE set after failover: {len(handle.frontends)} "
+                 "(min 4 restored by the controller)")
+    return {"rows": [{"time_s": row["t"], "loss_rate": row["loss"]}
+                     for row in buckets],
+            "notes": notes}
+
+
+def run(kill_at: float = 4.0, duration: float = 10.0,
+        bucket: float = 0.5, monitor_interval: float = 0.4,
+        seed: int = 0, jobs: Optional[int] = 1) -> ExperimentResult:
+    outcome, = sweep([(kill_at, duration, bucket, monitor_interval, seed)],
+                     run_point, jobs=jobs)
     result = ExperimentResult(
         name="fig14",
         description="loss rate around an FE crash (failover via monitor)",
         columns=["time_s", "loss_rate"],
     )
-    for row in buckets:
-        result.add_row(time_s=row["t"], loss_rate=row["loss"])
-
-    lossy = [row["t"] for row in buckets if row["loss"] > 0.02]
-    if lossy:
-        result.note(f"loss surge from ~{min(lossy):.1f}s to "
-                    f"~{max(lossy):.1f}s (duration "
-                    f"{max(lossy) - min(lossy) + bucket:.1f}s; paper: ~2s)")
-    result.note(f"FE set after failover: {len(handle.frontends)} "
-                "(min 4 restored by the controller)")
+    for row in outcome["rows"]:
+        result.add_row(**row)
+    for note in outcome["notes"]:
+        result.note(note)
     return result

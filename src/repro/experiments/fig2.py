@@ -7,28 +7,43 @@ overwhelms its SmartNIC.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import point_seeds, sweep
 from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.metrics.percentiles import percentile
 from repro.workloads import ClosedLoopCrr
 
 
+def run_point(point: Tuple[int, float, int]) -> Tuple[float, float]:
+    """Sweep point: one saturated high-CPS VM (a fresh seeded testbed).
+
+    Returns ``(vm_cpu, vswitch_cpu)`` utilization fractions.
+    """
+    vm_seed, duration, concurrency_per_client = point
+    testbed = build_testbed(n_clients=4, n_idle=2, seed=vm_seed)
+    loops = [ClosedLoopCrr(testbed.engine, app, SERVER_IP, 80,
+                           concurrency=concurrency_per_client).start()
+             for app in testbed.client_apps]
+    testbed.run(1.0 + duration)
+    for loop in loops:
+        loop.stop()
+    vm = testbed.server_vm
+    vm_util = max(vm.cpu.utilization(), vm.kernel_lock.utilization())
+    return vm_util, testbed.server_vswitch.cpu_utilization()
+
+
 def run(n_vms: int = 8, duration: float = 1.5,
-        concurrency_per_client: int = 96, seed: int = 0) -> ExperimentResult:
-    """Each sample is one saturated high-CPS VM (a fresh seeded testbed)."""
-    vm_utils, vswitch_utils = [], []
-    for index in range(n_vms):
-        testbed = build_testbed(n_clients=4, n_idle=2, seed=seed + index)
-        loops = [ClosedLoopCrr(testbed.engine, app, SERVER_IP, 80,
-                               concurrency=concurrency_per_client).start()
-                 for app in testbed.client_apps]
-        testbed.run(1.0 + duration)
-        for loop in loops:
-            loop.stop()
-        vm = testbed.server_vm
-        vm_util = max(vm.cpu.utilization(), vm.kernel_lock.utilization())
-        vm_utils.append(vm_util)
-        vswitch_utils.append(testbed.server_vswitch.cpu_utilization())
+        concurrency_per_client: int = 96, seed: int = 0,
+        jobs: Optional[int] = 1) -> ExperimentResult:
+    """Each sample is one saturated high-CPS VM (an independent point)."""
+    seeds = point_seeds(seed, "fig2/vm", range(n_vms))
+    points = [(vm_seed, duration, concurrency_per_client)
+              for vm_seed in seeds]
+    samples = sweep(points, run_point, jobs=jobs)
+    vm_utils = [vm for vm, _vs in samples]
+    vswitch_utils = [vs for _vm, vs in samples]
 
     result = ExperimentResult(
         name="fig2",

@@ -12,10 +12,11 @@ memory-bound capabilities come from the byte-accounting capacity model
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.capacity import CapacityModel
+from repro.experiments.capacity import CapacityModel, sweep_gains
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.workloads import ClosedLoopCrr, measure_cps
 
@@ -39,15 +40,24 @@ def measure_cps_at(n_fes: int, duration: float, warmup: float,
     return measure_cps(testbed.engine, loops, warmup, duration)
 
 
+def run_point(point: Tuple[int, float, float, int, int]) -> float:
+    """Sweep point: measured CPS for one FE count (own engine/testbed)."""
+    n_fes, duration, warmup, concurrency_per_client, seed = point
+    return measure_cps_at(n_fes, duration, warmup,
+                          concurrency_per_client, seed)
+
+
 def run(fe_counts: Sequence[int] = (0, 1, 2, 4, 8),
         duration: float = 1.5, warmup: float = 1.0,
-        concurrency_per_client: int = 96, seed: int = 0) -> ExperimentResult:
-    capacity = CapacityModel()
-    cps: Dict[int, float] = {}
-    for n_fes in fe_counts:
-        cps[n_fes] = measure_cps_at(n_fes, duration, warmup,
-                                    concurrency_per_client, seed)
+        concurrency_per_client: int = 96, seed: int = 0,
+        jobs: Optional[int] = 1) -> ExperimentResult:
+    points = [(n_fes, duration, warmup, concurrency_per_client, seed)
+              for n_fes in fe_counts]
+    cps: Dict[int, float] = dict(zip(fe_counts,
+                                     sweep(points, run_point, jobs=jobs)))
     baseline = cps.get(0) or next(iter(cps.values()))
+    gains = {row["n_fes"]: row
+             for row in sweep_gains(fe_counts, model=CapacityModel())}
 
     result = ExperimentResult(
         name="fig9",
@@ -62,9 +72,9 @@ def run(fe_counts: Sequence[int] = (0, 1, 2, 4, 8),
             cps=cps[n_fes],
             cps_gain=cps[n_fes] / baseline,
             paper_cps_gain=PAPER_CPS_GAIN.get(n_fes, 3.3),
-            flows_gain=capacity.flows_gain(n_fes) if n_fes else 1.0,
+            flows_gain=gains[n_fes]["flows_gain"],
             paper_flows_gain=PAPER_FLOWS_GAIN.get(n_fes, 3.8),
-            vnics_gain=capacity.vnics_gain(n_fes) if n_fes else 1.0,
+            vnics_gain=gains[n_fes]["vnics_gain"],
         )
     result.note("CPS saturation comes from the VM kernel lock; flows "
                 "saturation from local state memory; #vNICs grows with "

@@ -11,9 +11,10 @@ the interior cells check the additive model.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import sweep
 from repro.net.addr import IPv4Address
 from repro.net.five_tuple import PROTO_TCP, FiveTuple
 from repro.vswitch.actions import Verdict
@@ -43,29 +44,38 @@ def _build_acl(n_rules: int) -> AclTable:
     return AclTable(rules)
 
 
-def run(lookups_per_cell: int = 200, seed: int = 0) -> ExperimentResult:
+def run_point(point: Tuple[int, int, int]) -> float:
+    """Sweep point: measured Mpps for one (pkt size, #ACL rules) cell."""
+    pkt_bytes, n_rules, lookups_per_cell = point
     cost_model = CostModel.production()
+    src = IPv4Address("192.168.5.1")
+    chain = make_standard_chain(cost_model, acl=_build_acl(n_rules))
+    cycles_total = 0.0
+    for i in range(lookups_per_cell):
+        ft = FiveTuple(src, IPv4Address(f"192.168.6.{i % 250 + 1}"),
+                       PROTO_TCP, 1024 + i, 65000)
+        _pre, cycles = chain.lookup(
+            LookupContext(ft, vni=1, packet_bytes=pkt_bytes))
+        cycles_total += cycles
+    per_lookup = cycles_total / lookups_per_cell
+    return cost_model.total_hz / per_lookup / 1e6
+
+
+def run(lookups_per_cell: int = 200, seed: int = 0,
+        jobs: Optional[int] = 1) -> ExperimentResult:
     result = ExperimentResult(
         name="tablea1",
         description="rule-lookup throughput (Mpps) vs pkt size & #ACL rules",
         columns=["pkt_bytes", "acl_rules", "measured_mpps", "paper_mpps"],
     )
-    src = IPv4Address("192.168.5.1")
-    for pkt_bytes in PACKET_SIZES:
-        for n_rules in ACL_RULE_COUNTS:
-            chain = make_standard_chain(cost_model, acl=_build_acl(n_rules))
-            cycles_total = 0.0
-            for i in range(lookups_per_cell):
-                ft = FiveTuple(src, IPv4Address(f"192.168.6.{i % 250 + 1}"),
-                               PROTO_TCP, 1024 + i, 65000)
-                _pre, cycles = chain.lookup(
-                    LookupContext(ft, vni=1, packet_bytes=pkt_bytes))
-                cycles_total += cycles
-            per_lookup = cycles_total / lookups_per_cell
-            mpps = cost_model.total_hz / per_lookup / 1e6
-            result.add_row(pkt_bytes=pkt_bytes, acl_rules=n_rules,
-                           measured_mpps=mpps,
-                           paper_mpps=PAPER_MPPS[(pkt_bytes, n_rules)])
+    cells = [(pkt_bytes, n_rules, lookups_per_cell)
+             for pkt_bytes in PACKET_SIZES for n_rules in ACL_RULE_COUNTS]
+    for (pkt_bytes, n_rules, _), mpps in zip(cells,
+                                             sweep(cells, run_point,
+                                                   jobs=jobs)):
+        result.add_row(pkt_bytes=pkt_bytes, acl_rules=n_rules,
+                       measured_mpps=mpps,
+                       paper_mpps=PAPER_MPPS[(pkt_bytes, n_rules)])
     result.note("every lookup executes the real table chain; timing uses "
                 "the production cost model calibrated on this table's "
                 "corner cells")

@@ -17,7 +17,7 @@ nanoseconds).
 
 from repro.sim.engine import Engine, Event, Interrupt, Process, Timeout
 from repro.sim.resources import CpuResource, FifoQueue, MemoryBudget
-from repro.sim.rng import SeededRng
+from repro.sim.rng import SeededRng, derive_seed
 from repro.sim.trace import Trace, TraceRecord
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "MemoryBudget",
     "FifoQueue",
     "SeededRng",
+    "derive_seed",
     "Trace",
     "TraceRecord",
 ]

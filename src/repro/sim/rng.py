@@ -129,3 +129,18 @@ class SeededRng:
 def make_rng(seed: Optional[int], label: str = "root") -> SeededRng:
     """Build a root RNG, defaulting to seed 0 for reproducibility."""
     return SeededRng(0 if seed is None else seed, label)
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Stable 64-bit seed for a labelled sub-computation.
+
+    Sweep points that replicate an experiment (different VMs, different
+    load levels, different worker processes) must draw from streams that
+    are independent of each other *and* of the root ``seed`` — naive
+    schemes like ``seed + index`` alias across points (seed 0 / point 1
+    collides with seed 1 / point 0). This uses the same SHA-256 mixing
+    as :class:`SeededRng` stream derivation, so a derived seed is a
+    plain ``int`` that can cross a process boundary and rebuild the
+    exact same stream in a pool worker.
+    """
+    return SeededRng._mix(seed, label)

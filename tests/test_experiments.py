@@ -39,6 +39,30 @@ def test_relative_error():
     assert relative_error(5.0, 0.0) == 5.0
 
 
+def test_fmt_negative_floats_mirror_positive():
+    fmt = ExperimentResult._fmt
+    # A negative float must render as "-" plus its positive twin — same
+    # threshold bucket, same precision — in every magnitude regime.
+    for value in (1e-6, 5e-05, 0.123456, 9.9999, 12.34, 999.94,
+                  1234.5, 1e6):
+        assert fmt(-value) == "-" + fmt(value)
+    assert fmt(-12.34) == "-12.3"
+    assert fmt(-0.123456) == "-0.123"
+    assert fmt(-1e6) == "-1,000,000"
+    assert fmt(-0.0) == "0"            # no stray sign on negative zero
+    assert fmt(-5) == "-5"             # ints untouched
+
+
+def test_to_text_aligns_negative_cells():
+    result = ExperimentResult("x", "demo", ["delta"])
+    result.add_row(delta=-3.21)
+    result.add_row(delta=3.21)
+    lines = result.to_text().splitlines()
+    assert lines[3].startswith("-3.21")
+    assert lines[4].startswith("3.21")
+    assert len(lines[3].rstrip()) >= len(lines[4].rstrip())
+
+
 # -- CapacityModel -----------------------------------------------------------------
 
 def test_capacity_baseline_cps_is_paper_scale():

@@ -1,0 +1,100 @@
+"""Unit tests for the process-pool sweep layer and per-point seeds."""
+
+import pytest
+
+from repro.experiments.parallel import (default_jobs, point_seeds,
+                                        resolve_jobs, sweep)
+from repro.sim.rng import SeededRng, derive_seed
+
+
+def _square(point):  # top-level: picklable for pool workers
+    return point * point
+
+
+def _boom(point):
+    raise ValueError(f"bad point {point}")
+
+
+# -- sweep -------------------------------------------------------------------------
+
+
+def test_sweep_preserves_submission_order_sequential():
+    assert sweep([3, 1, 2], _square, jobs=1) == [9, 1, 4]
+
+
+def test_sweep_preserves_submission_order_parallel():
+    points = list(range(10))
+    assert sweep(points, _square, jobs=3) == [p * p for p in points]
+
+
+def test_sweep_parallel_equals_sequential():
+    points = [7, 0, 5, 5, 2]
+    assert sweep(points, _square, jobs=4) == sweep(points, _square, jobs=1)
+
+
+def test_sweep_jobs_one_runs_in_process():
+    seen = []
+
+    def worker(point):  # a closure: unpicklable, so only in-process works
+        seen.append(point)
+        return point
+
+    assert sweep([1, 2, 3], worker, jobs=1) == [1, 2, 3]
+    assert seen == [1, 2, 3]
+
+
+def test_sweep_empty_points():
+    assert sweep([], _square, jobs=1) == []
+    assert sweep([], _square, jobs=4) == []
+
+
+def test_sweep_propagates_worker_errors():
+    with pytest.raises(ValueError, match="bad point 1"):
+        sweep([1], _boom, jobs=1)
+    with pytest.raises(ValueError, match="bad point"):
+        sweep([1, 2], _boom, jobs=2)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None, 100) == min(default_jobs(), 100)
+    assert resolve_jobs(8, 3) == 3          # trimmed to the point count
+    assert resolve_jobs(2, 100) == 2
+    assert resolve_jobs(4, 0) == 1          # empty sweep: no pool
+    with pytest.raises(ValueError):
+        resolve_jobs(0, 5)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+# -- seed derivation ----------------------------------------------------------------
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(3, "fig2/vm/0") == derive_seed(3, "fig2/vm/0")
+
+
+def test_derive_seed_separates_labels_and_seeds():
+    assert derive_seed(0, "a") != derive_seed(0, "b")
+    assert derive_seed(0, "a") != derive_seed(1, "a")
+
+
+def test_derive_seed_does_not_alias_like_seed_plus_index():
+    # The scheme it replaces: seed 0 / point 1 == seed 1 / point 0.
+    assert derive_seed(0, "sweep/1") != derive_seed(1, "sweep/0")
+
+
+def test_derive_seed_rebuilds_identical_streams():
+    seed = derive_seed(42, "worker/5")
+    a = SeededRng(seed, "point")
+    b = SeededRng(seed, "point")
+    assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+
+def test_point_seeds_positional_and_distinct():
+    seeds = point_seeds(7, "fig2/vm", range(6))
+    assert len(seeds) == 6
+    assert len(set(seeds)) == 6
+    assert seeds == point_seeds(7, "fig2/vm", ["any", "other", "values",
+                                               "same", "length", "!"])

@@ -1,0 +1,118 @@
+"""Runner CLI coverage: list/unknown exits, --seed and --jobs plumbing,
+and the signature-based seed detection that replaced the fragile
+``co_varnames`` check."""
+
+import pytest
+
+from repro.experiments.runner import (ALL_EXPERIMENTS, FAST_EXPERIMENTS,
+                                      SLOW_EXPERIMENTS, _run_kwargs, main,
+                                      run_all, run_experiment)
+
+
+def _tables(output: str):
+    """Rendered experiment tables, with the wall-clock lines stripped."""
+    return [line for line in output.splitlines()
+            if not line.startswith("[") or "finished in" not in line]
+
+
+# -- argument plumbing -------------------------------------------------------------
+
+
+def test_run_kwargs_matches_parameters_not_locals():
+    def seedless_run():
+        seed = 123  # a *local* named seed; co_varnames would match it
+        return seed
+
+    assert _run_kwargs(seedless_run, 7, 2) == {}
+
+    def seeded_run(seed=0):
+        return seed
+
+    assert _run_kwargs(seeded_run, 7, 2) == {"seed": 7}
+
+    def parallel_run(seed=0, jobs=1):
+        return seed, jobs
+
+    assert _run_kwargs(parallel_run, 7, 2) == {"seed": 7, "jobs": 2}
+
+
+def test_run_experiment_passes_seed_and_jobs(monkeypatch):
+    import sys
+    import types
+
+    captured = {}
+    fake = types.ModuleType("repro.experiments.fake_exp")
+
+    def run(seed=0, jobs=1):
+        captured.update(seed=seed, jobs=jobs)
+
+        class R:
+            rows = [{"x": 1}]
+
+            def to_text(self):
+                return "fake"
+
+        return R()
+
+    fake.run = run
+    monkeypatch.setitem(sys.modules, "repro.experiments.fake_exp", fake)
+    result, elapsed = run_experiment("fake_exp", seed=9, jobs=3)
+    assert captured == {"seed": 9, "jobs": 3}
+    assert result.to_text() == "fake" and elapsed >= 0
+
+
+# -- CLI surface -------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL_EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_unknown_experiment_exits_2(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["table5", "--jobs", "0"])
+
+
+def test_cli_seed_changes_seeded_experiment(capsys):
+    assert main(["figa1", "--seed", "0", "--jobs", "1"]) == 0
+    first = _tables(capsys.readouterr().out)
+    assert main(["figa1", "--seed", "5", "--jobs", "1"]) == 0
+    second = _tables(capsys.readouterr().out)
+    assert first != second
+
+
+def test_experiment_lists_are_consistent():
+    assert set(ALL_EXPERIMENTS) == set(FAST_EXPERIMENTS) | \
+        set(SLOW_EXPERIMENTS)
+    assert len(ALL_EXPERIMENTS) == len(set(ALL_EXPERIMENTS))
+
+
+# -- --jobs determinism through the CLI --------------------------------------------
+
+
+def test_cli_jobs_identical_output_fast_experiment(capsys):
+    """tablea1 (the fast grid sweep): --jobs 2 output == --jobs 1."""
+    assert main(["tablea1", "--jobs", "1"]) == 0
+    sequential = _tables(capsys.readouterr().out)
+    assert main(["tablea1", "--jobs", "2"]) == 0
+    parallel = _tables(capsys.readouterr().out)
+    assert sequential == parallel
+    assert any("tablea1" in line for line in sequential)
+
+
+def test_run_all_pool_identical_output(capsys):
+    """The runner-level fan-out prints the same tables in the same order."""
+    names = ["table5", "tablea1"]
+    run_all(names, seed=0, jobs=1)
+    sequential = _tables(capsys.readouterr().out)
+    run_all(names, seed=0, jobs=2)
+    parallel = _tables(capsys.readouterr().out)
+    assert sequential == parallel

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Run the fast-path microbenchmarks and track them in BENCH_fastpath.json.
+"""Run the tracked benchmarks: fast-path micro and experiment macro.
 
-Full run (regenerates the tracked baseline)::
+Micro — full run (regenerates the tracked BENCH_fastpath.json)::
 
     PYTHONPATH=src python tools/bench.py
 
-CI smoke run (quick pass + regression gate against the committed JSON)::
+Micro — CI smoke (quick pass + regression gate against the committed
+JSON)::
 
     PYTHONPATH=src python tools/bench.py --smoke
 
@@ -15,12 +16,24 @@ twin it compares *speedups* (optimized vs legacy on the same machine in
 the same run); for the rest it compares throughput normalized by a fixed
 pure-python calibration loop. Either dropping more than ``--tolerance``
 (default 30%) below the committed baseline fails the run.
+
+Macro — per-experiment sequential-vs-parallel wall clocks (regenerates
+BENCH_experiments.json)::
+
+    PYTHONPATH=src python tools/bench.py --experiments --jobs 4
+
+Macro numbers are raw seconds plus a same-machine speedup and are never
+gated — the speedup depends on the recorded ``cpu_count`` — but each
+entry also re-checks that ``jobs=1`` and ``jobs=N`` rendered identical
+tables, and a mismatch *does* fail the run (determinism is a
+correctness property, not a performance one).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -28,10 +41,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import run_all  # noqa: E402
+from repro.bench import run_all, run_macro  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
+DEFAULT_MACRO_OUTPUT = REPO_ROOT / "BENCH_experiments.json"
 SCHEMA = "bench_fastpath/v1"
+MACRO_SCHEMA = "bench_experiments/v1"
 
 
 def _fmt(value) -> str:
@@ -79,13 +94,65 @@ def check_regressions(current: dict, baseline_doc: dict,
     return failures
 
 
+def print_macro_table(results: dict) -> None:
+    print(f"{'experiment':<12} {'sequential s':>13} {'parallel s':>11} "
+          f"{'speedup':>8} {'rows':>5} {'identical':>9}")
+    for name, entry in results.items():
+        print(f"{name:<12} {entry['sequential_s']:>13.2f} "
+              f"{entry['parallel_s']:>11.2f} "
+              f"{entry['speedup']:>8.2f} {entry['rows']:>5} "
+              f"{str(entry['identical_output']):>9}")
+
+
+def run_experiments_mode(args) -> int:
+    jobs = args.jobs or (os.cpu_count() or 1)
+    results = run_macro(jobs=jobs, profile=args.profile)
+    print_macro_table(results)
+
+    broken = [name for name, entry in results.items()
+              if not entry["identical_output"]]
+    if broken:
+        print(f"\nerror: parallel output diverged from sequential for: "
+              f"{', '.join(broken)}", file=sys.stderr)
+        return 1
+
+    doc = {
+        "schema": MACRO_SCHEMA,
+        "config": {
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "profile": args.profile,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "experiments": results,
+    }
+    output = args.output if args.output != DEFAULT_OUTPUT \
+        else DEFAULT_MACRO_OUTPUT
+    output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="quick run + regression gate against the "
                              "committed JSON; does not rewrite it")
+    parser.add_argument("--experiments", action="store_true",
+                        help="macro mode: per-experiment sequential vs "
+                             "parallel wall clocks -> BENCH_experiments.json")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for --experiments "
+                             "(default: one per CPU core)")
+    parser.add_argument("--profile", choices=("quick", "full"),
+                        default="quick",
+                        help="parameter scale for --experiments "
+                             "(default: %(default)s)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help="baseline JSON path (default: %(default)s)")
+                        help="baseline JSON path (default: "
+                             "BENCH_fastpath.json, or "
+                             "BENCH_experiments.json with --experiments)")
     parser.add_argument("--target-seconds", type=float, default=None,
                         help="min measured wall time per bench "
                              "(default: 0.25, or 0.05 with --smoke)")
@@ -93,6 +160,9 @@ def main(argv=None) -> int:
                         help="allowed fractional regression for --smoke "
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.experiments:
+        return run_experiments_mode(args)
 
     target = args.target_seconds
     if target is None:

@@ -69,3 +69,8 @@ class ServerNode(Device):
         """Emit a packet onto the underlay; False when disconnected."""
         self.tx_packets += 1
         return self.uplink.send(packet)
+
+    def send_to_fabric_burst(self, packets: List[Packet]) -> bool:
+        """Emit a burst onto the underlay as one back-to-back train."""
+        self.tx_packets += len(packets)
+        return self.uplink.send_burst(packets)

@@ -168,6 +168,50 @@ class Vm:
 
         self.engine.process(transmit(), name=f"{self.name}.tx")
 
+    def send_burst(self, vnic: Vnic, packets: List[Packet],
+                   new_connection: bool = False,
+                   on_sent: Optional[Callable[[], None]] = None) -> None:
+        """Burst transmit: the kernel cost for the whole burst is charged
+        as one transaction (n× the per-packet — or per-connection —
+        cycles of :meth:`send`), then every packet is handed to the
+        vSwitch datapath together. Drop-tail rejects the whole burst.
+        """
+        if vnic.host is None:
+            raise ConfigError(f"{vnic!r} is not hosted by any vSwitch")
+        packets = list(packets)
+        if not packets:
+            return
+        n = len(packets)
+        cm = self.cost_model
+        if new_connection:
+            self.conns_opened += n
+            lock_job = self.kernel_lock.try_submit(
+                cm.conn_serial_cycles * n, cm.max_backlog)
+            if lock_job is None:
+                self.kernel_drops += n
+                return
+            par_job = self.cpu.try_submit(cm.conn_parallel_cycles * n,
+                                          cm.max_backlog)
+            if par_job is None:
+                self.kernel_drops += n
+                return
+            jobs = [lock_job, par_job]
+        else:
+            pkt_job = self.cpu.try_submit(cm.pkt_cycles * n, cm.max_backlog)
+            if pkt_job is None:
+                self.kernel_drops += n
+                return
+            jobs = [pkt_job]
+
+        def transmit():
+            for job in jobs:
+                yield job
+            vnic.host.send_from_vnic_burst(vnic, packets)
+            if on_sent is not None:
+                on_sent()
+
+        self.engine.process(transmit(), name=f"{self.name}.tx")
+
     # -- telemetry ------------------------------------------------------------------------
 
     def cpu_utilization(self) -> float:

@@ -24,8 +24,13 @@ _PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
 class FiveTuple:
     """(src ip, dst ip, protocol, src port, dst port) — the flow key."""
 
+    #: Class-level switch for the cached session key. ``False`` rebuilds
+    #: the tuple on every call (the pre-burst behavior); the burst
+    #: determinism suite runs both and requires identical outputs.
+    memoize_key: bool = True
+
     __slots__ = ("src_ip", "dst_ip", "proto", "src_port", "dst_port",
-                 "_hash")
+                 "_hash", "_session_key")
 
     def __init__(
         self,
@@ -44,6 +49,7 @@ class FiveTuple:
         # session-table probe otherwise — is precomputed once.
         self._hash = hash((self.src_ip, self.dst_ip, self.proto,
                            self.src_port, self.dst_port))
+        self._session_key: Tuple = None
 
     def reversed(self) -> "FiveTuple":
         """The same session seen from the other direction."""
@@ -51,11 +57,22 @@ class FiveTuple:
                          self.dst_port, self.src_port)
 
     def session_key(self) -> Tuple:
-        """Direction-independent key: both directions map to one session."""
+        """Direction-independent key: both directions map to one session.
+
+        Fields are immutable after construction, so the key is computed
+        once — the session table probes with it on every lookup, insert,
+        and remove, which the burst datapath turns into the per-burst
+        hot call.
+        """
+        key = self._session_key
+        if key is not None and FiveTuple.memoize_key:
+            return key
         a = (self.src_ip.value, self.src_port)
         b = (self.dst_ip.value, self.dst_port)
         lo, hi = (a, b) if a <= b else (b, a)
-        return (self.proto, lo, hi)
+        key = (self.proto, lo, hi)
+        self._session_key = key
+        return key
 
     def hash(self, seed: int = 0) -> int:
         """Stable 64-bit flow hash used to pick an FE.

@@ -91,6 +91,17 @@ class SessionTable:
     # -- lookups -------------------------------------------------------------
 
     def lookup(self, vni: int, five_tuple: FiveTuple) -> Optional[SessionEntry]:
+        """Exact-match probe.
+
+        The burst datapath performs *one* lookup per per-flow run and
+        holds the returned entry across the whole burst. That is sound
+        because nothing here mutates between same-instant packets of one
+        flow: entries are identity-stable (demote/promote/invalidate
+        rewrite fields in place rather than replacing the object), so a
+        held entry observes any concurrent demotion — the batched
+        completion re-checks ``pre_actions``/``state`` exactly like the
+        per-packet path does.
+        """
         return self._entries.get(self._key(vni, five_tuple))
 
     def __contains__(self, key: Tuple[int, FiveTuple]) -> bool:

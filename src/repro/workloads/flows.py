@@ -24,7 +24,7 @@ class ConcurrentFlowHolder:
     def __init__(self, engine: Engine, vm: Vm, vnic: Vnic,
                  dst_ip: IPv4Address, target: int,
                  keepalive: float = 2.0, ramp_rate: float = 2000.0,
-                 base_port: int = 1024) -> None:
+                 base_port: int = 1024, burst: int = 1) -> None:
         self.engine = engine
         self.vm = vm
         self.vnic = vnic
@@ -33,6 +33,10 @@ class ConcurrentFlowHolder:
         self.keepalive = keepalive
         self.ramp_rate = ramp_rate
         self.base_port = base_port
+        # burst > 1 chunks the keepalive sweep — the canonical same-
+        # instant fan-out (``opened`` sends at one tick) — into kernel
+        # bursts of that size instead of per-packet vm.send calls.
+        self.burst = max(1, int(burst))
         self.opened = 0
         self._running = False
 
@@ -48,12 +52,15 @@ class ConcurrentFlowHolder:
     def _flow_port(self, index: int) -> int:
         return self.base_port + index
 
-    def _send(self, index: int, flags: TcpFlags) -> None:
+    def _make(self, index: int, flags: TcpFlags) -> Packet:
         sport = self._flow_port(index)
         dport = 7000 + index % 100
-        pkt = Packet.tcp(self.vnic.tenant_ip, self.dst_ip, sport, dport,
-                         flags)
-        self.vm.send(self.vnic, pkt, new_connection=flags.syn)
+        return Packet.tcp(self.vnic.tenant_ip, self.dst_ip, sport, dport,
+                          flags)
+
+    def _send(self, index: int, flags: TcpFlags) -> None:
+        self.vm.send(self.vnic, self._make(index, flags),
+                     new_connection=flags.syn)
 
     def _ramp(self):
         gap = 1.0 / self.ramp_rate
@@ -63,10 +70,18 @@ class ConcurrentFlowHolder:
             yield self.engine.timeout(gap)
 
     def _keepalive_loop(self):
+        ack = TcpFlags.of("ack")
         while self._running:
             yield self.engine.timeout(self.keepalive)
-            for index in range(self.opened):
-                self._send(index, TcpFlags.of("ack"))
+            if self.burst == 1:
+                for index in range(self.opened):
+                    self._send(index, ack)
+            else:
+                for base in range(0, self.opened, self.burst):
+                    top = min(base + self.burst, self.opened)
+                    self.vm.send_burst(
+                        self.vnic,
+                        [self._make(i, ack) for i in range(base, top)])
 
     def established(self) -> int:
         """Sessions currently held in the local vSwitch's table."""

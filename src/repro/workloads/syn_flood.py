@@ -18,13 +18,18 @@ class SynFlood:
 
     def __init__(self, engine: Engine, vm: Vm, vnic: Vnic,
                  dst_ip: IPv4Address, rate_pps: float,
-                 rng: SeededRng = None) -> None:
+                 rng: SeededRng = None, burst: int = 1) -> None:
         self.engine = engine
         self.vm = vm
         self.vnic = vnic
         self.dst_ip = IPv4Address(dst_ip)
         self.rate_pps = rate_pps
         self.rng = rng or SeededRng(0, "synflood")
+        # burst > 1 sends the SYNs ``burst`` at a time (one kernel
+        # transaction) while keeping the rate: each burst sleeps the sum
+        # of ``burst`` exponential gaps, so the per-packet draw count —
+        # and hence the RNG stream — is unchanged.
+        self.burst = max(1, int(burst))
         self.sent = 0
         self._stop_at = None
 
@@ -36,9 +41,21 @@ class SynFlood:
     def _loop(self):
         sport = 1024
         while self.engine.now < self._stop_at:
-            pkt = Packet.tcp(self.vnic.tenant_ip, self.dst_ip,
-                             sport, 80, TcpFlags.of("syn"))
-            sport = 1024 + (sport - 1023) % 60000
-            self.vm.send(self.vnic, pkt, new_connection=True)
-            self.sent += 1
-            yield self.engine.timeout(self.rng.expovariate(self.rate_pps))
+            if self.burst == 1:
+                pkt = Packet.tcp(self.vnic.tenant_ip, self.dst_ip,
+                                 sport, 80, TcpFlags.of("syn"))
+                sport = 1024 + (sport - 1023) % 60000
+                self.vm.send(self.vnic, pkt, new_connection=True)
+                self.sent += 1
+                yield self.engine.timeout(self.rng.expovariate(self.rate_pps))
+            else:
+                pkts = []
+                for _ in range(self.burst):
+                    pkts.append(Packet.tcp(self.vnic.tenant_ip, self.dst_ip,
+                                           sport, 80, TcpFlags.of("syn")))
+                    sport = 1024 + (sport - 1023) % 60000
+                self.vm.send_burst(self.vnic, pkts, new_connection=True)
+                self.sent += self.burst
+                delay = sum(self.rng.expovariate(self.rate_pps)
+                            for _ in range(self.burst))
+                yield self.engine.timeout(delay)

@@ -1,0 +1,83 @@
+"""Seeded end-to-end determinism for the burst datapath.
+
+The burst pipeline ships with its own legacy switches (per-packet link
+transmits, per-packet datapath dispatch, unmemoized session keys). With
+the switches on, even single-packet sends route through the full burst
+machinery — classify-run, batched CPU charge, coalesced heap entry — so
+these tests exercise every burst layer, not just the size-1 fallback.
+They run scaled-down fig9/fig12 experiments with bursting on and off and
+require *identical* result tables, and compose the check with the
+process-pool sweep (``--jobs 2``).
+"""
+
+import pytest
+
+from repro.fabric.link import Link
+from repro.net.five_tuple import FiveTuple
+from repro.vswitch.vswitch import Datapath
+
+_SWITCHES = (
+    (Link, "burst"),
+    (Datapath, "batching"),
+    (FiveTuple, "memoize_key"),
+)
+
+
+@pytest.fixture
+def burst_mode():
+    """Callable flipping the burst datapath between on and legacy."""
+    saved = [(cls, name, getattr(cls, name)) for cls, name in _SWITCHES]
+
+    def enable(batched: bool) -> None:
+        for cls, name in _SWITCHES:
+            setattr(cls, name, batched)
+
+    yield enable
+    for cls, name, value in saved:
+        setattr(cls, name, value)
+
+
+FIG9_KWARGS = dict(fe_counts=(0, 2), duration=0.4, warmup=0.2,
+                   concurrency_per_client=8, seed=3)
+FIG12_KWARGS = dict(load_levels=(8,), seed=2)
+
+
+def test_fig9_table_identical_with_and_without_bursting(burst_mode):
+    from repro.experiments import fig9
+    burst_mode(True)
+    batched = fig9.run(**FIG9_KWARGS)
+    burst_mode(False)
+    legacy = fig9.run(**FIG9_KWARGS)
+    assert batched.rows == legacy.rows
+
+
+def test_fig12_table_identical_with_and_without_bursting(burst_mode):
+    from repro.experiments import fig12
+    burst_mode(True)
+    batched = fig12.run(**FIG12_KWARGS)
+    burst_mode(False)
+    legacy = fig12.run(**FIG12_KWARGS)
+    assert batched.rows == legacy.rows
+
+
+def test_fig9_bursting_composes_with_parallel_sweep(burst_mode):
+    """Burst determinism composed with the process-pool fan-out: workers
+    re-import the modules and so run with the default (batched) switches;
+    their rows must match both an in-process batched run and an
+    in-process legacy run."""
+    from repro.experiments import fig9
+    burst_mode(True)
+    fanned_out = fig9.run(jobs=2, **FIG9_KWARGS)
+    in_process = fig9.run(jobs=1, **FIG9_KWARGS)
+    assert fanned_out.rows == in_process.rows
+    burst_mode(False)
+    legacy = fig9.run(jobs=1, **FIG9_KWARGS)
+    assert fanned_out.rows == legacy.rows
+
+
+def test_burst_run_to_run_deterministic(burst_mode):
+    from repro.experiments import fig12
+    burst_mode(True)
+    first = fig12.run(**FIG12_KWARGS)
+    second = fig12.run(**FIG12_KWARGS)
+    assert first.rows == second.rows

@@ -81,6 +81,83 @@ def test_send_on_disconnected_port_returns_false():
     assert not a.send_to_fabric(mk_packet())
 
 
+# -- Link bursts ---------------------------------------------------------------
+
+
+def _burst_arrivals(burst_on, n=4):
+    """Arrival times of an n-packet train, with Link.burst on or off."""
+    saved = Link.burst
+    Link.burst = burst_on
+    try:
+        engine = Engine()
+        a = mk_server(engine, "a", "10.0.0.1")
+        b = mk_server(engine, "b", "10.0.0.2", mac=2)
+        connect(engine, a, b, latency=10e-6, gbps=1.0)
+        arrivals = []
+        b.attach_sink(lambda pkt: arrivals.append((engine.now, pkt)))
+        a.send_to_fabric_burst([mk_packet(sport=1000 + i) for i in range(n)])
+        engine.run()
+        return arrivals
+    finally:
+        Link.burst = saved
+
+
+def test_burst_arrival_times_match_per_packet_transmits():
+    """The exact-timing guarantee: one coalesced heap entry delivers each
+    packet at precisely the serialization+latency instant N separate
+    transmits would."""
+    coalesced = _burst_arrivals(burst_on=True)
+    per_packet = _burst_arrivals(burst_on=False)
+    assert [t for t, _ in coalesced] == [t for t, _ in per_packet]
+    assert ([p.five_tuple() for _, p in coalesced]
+            == [p.five_tuple() for _, p in per_packet])
+    # Strictly increasing: serialization separates back-to-back packets.
+    times = [t for t, _ in coalesced]
+    assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
+
+
+def test_burst_on_downed_link_drops_whole_burst():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    link = connect(engine, a, b)
+    got = []
+    b.attach_sink(got.append)
+    link.set_up(False)
+    a.send_to_fabric_burst([mk_packet(sport=2000 + i) for i in range(5)])
+    engine.run()
+    assert got == []
+    assert link.drops_down == 5          # one per packet
+    assert link.bytes_carried == 0       # dropped bursts are not carried
+    assert link.packets_carried == 0
+
+
+def test_link_down_mid_traffic_preserves_carried_counters():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    b = mk_server(engine, "b", "10.0.0.2", mac=2)
+    link = connect(engine, a, b)
+    b.attach_sink(lambda pkt: None)
+    first = [mk_packet(sport=3000 + i) for i in range(3)]
+    a.send_to_fabric_burst(first)
+    engine.run()
+    carried_bytes = link.bytes_carried
+    assert link.packets_carried == 3
+    assert carried_bytes == sum(p.wire_length for p in first)
+    link.set_up(False)
+    a.send_to_fabric_burst([mk_packet(sport=4000 + i) for i in range(7)])
+    engine.run()
+    assert link.drops_down == 7
+    assert link.packets_carried == 3             # untouched by the drop
+    assert link.bytes_carried == carried_bytes   # untouched by the drop
+
+
+def test_send_burst_on_disconnected_port_returns_false():
+    engine = Engine()
+    a = mk_server(engine, "a", "10.0.0.1")
+    assert not a.send_to_fabric_burst([mk_packet()])
+
+
 # -- UnderlaySwitch ------------------------------------------------------------------
 
 def test_switch_forwards_installed_route():

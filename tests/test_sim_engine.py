@@ -290,3 +290,114 @@ def test_step_executes_single_callback():
     assert engine.step()
     assert order == ["a", "b"]
     assert not engine.step()
+
+
+# -- call_at_batch ---------------------------------------------------------------
+
+def test_batch_runs_in_time_order():
+    engine = Engine()
+    order = []
+    engine.call_at_batch([(t, order.append, (t,)) for t in (1.0, 2.0, 3.0)])
+    engine.run()
+    assert order == [1.0, 2.0, 3.0]
+    assert engine.now == 3.0
+
+
+def test_batch_interleaves_exactly_like_per_item_calls():
+    """A batch must be indistinguishable from N call_at pushes against
+    every competitor class: earlier-pushed same-time entries win, later-
+    pushed same-time entries lose, strictly-earlier entries preempt."""
+    def trace(batched):
+        engine = Engine()
+        order = []
+        engine.call_at(1.0, order.append, "before@1")  # pushed first: wins ties
+        items = [(t, order.append, (f"batch@{t}",)) for t in (1.0, 1.5, 2.0)]
+        if batched:
+            engine.call_at_batch(items)
+        else:
+            for when, fn, args in items:
+                engine.call_at(when, fn, *args)
+        engine.call_at(1.5, order.append, "after@1.5")  # pushed last: loses tie
+        engine.call_at(1.2, order.append, "mid@1.2")    # strictly earlier: preempts
+        engine.run()
+        return order
+
+    assert trace(batched=True) == trace(batched=False) == [
+        "before@1", "batch@1.0", "mid@1.2", "batch@1.5", "after@1.5",
+        "batch@2.0"]
+
+
+def test_batch_callback_scheduling_during_batch_matches_per_item():
+    """Callbacks scheduled *by* a batch item at the same instant go to
+    the micro-queue and must still run after the remaining same-instant
+    batch items — just as they would with per-item pushes."""
+    def trace(batched):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.call_at(1.0, order.append, "spawned@1")
+
+        items = [(1.0, first, ()), (1.0, order.append, ("second",))]
+        if batched:
+            engine.call_at_batch(items)
+        else:
+            for when, fn, args in items:
+                engine.call_at(when, fn, *args)
+        engine.run()
+        return order
+
+    assert trace(batched=True) == trace(batched=False) == [
+        "first", "second", "spawned@1"]
+
+
+def test_batch_items_due_now_drain_through_micro_queue():
+    engine = Engine()
+    order = []
+    engine.call_at_batch([(0.0, order.append, ("a",)),
+                          (0.0, order.append, ("b",)),
+                          (1.0, order.append, ("c",))])
+    assert engine.pending == 3  # two ready + one heap entry for the rest
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_batch_respects_run_until_bound():
+    engine = Engine()
+    order = []
+    engine.call_at_batch([(t, order.append, (t,)) for t in (1.0, 2.0, 3.0)])
+    engine.run(until=2.0)
+    assert order == [1.0, 2.0]
+    assert engine.now == 2.0
+    engine.run()  # re-pushed remainder resumes where it stopped
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_batch_rejects_unsorted_and_past_times():
+    engine = Engine()
+    engine.call_at(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.call_at_batch([(2.0, print, ()), (1.5, print, ())])
+    with pytest.raises(SimulationError):
+        engine.call_at_batch([(0.5, print, ())])  # now is 1.0
+
+
+def test_batch_empty_is_noop():
+    engine = Engine()
+    engine.call_at_batch([])
+    assert engine.pending == 0
+
+
+def test_batch_with_micro_queue_off_falls_back_to_per_item():
+    saved = Engine.micro_queue
+    Engine.micro_queue = False
+    try:
+        engine = Engine()
+        order = []
+        engine.call_at_batch([(t, order.append, (t,)) for t in (1.0, 2.0)])
+        engine.run()
+        assert order == [1.0, 2.0]
+    finally:
+        Engine.micro_queue = saved

@@ -350,3 +350,115 @@ def test_nat44_table_lookups():
     assert nat.external_for(IPv4Address("10.0.0.2")) is None
     assert nat.rule_count() == 1
     assert nat.memory_bytes() == 48
+
+
+# -- burst datapath --------------------------------------------------------------
+
+from dataclasses import asdict
+
+from repro.host.vm import Vm
+from repro.vswitch.vswitch import Datapath
+
+
+def udp(sport=4242, dport=5353):
+    return Packet.udp(TENANT_A, TENANT_B, sport, dport, payload=b"x" * 64)
+
+
+def _mixed_burst_stats(batching):
+    """Drive a burst mixing fast hits, a mid-burst miss, and an
+    FSM-advancing FIN; return both vSwitches' full counter dicts."""
+    saved = Datapath.batching
+    Datapath.batching = batching
+    try:
+        cloud = build_cloud()
+        cloud.vnic_b.attach_guest(lambda pkt: None)
+        cloud.vswitch_a.send_from_vnic(cloud.vnic_a, syn())
+        run(cloud)
+
+        def ack():
+            return Packet.tcp(TENANT_A, TENANT_B, 1000, 80,
+                              TcpFlags.of("ack"))
+
+        burst = [ack(), ack(), udp(sport=7), ack(),
+                 Packet.tcp(TENANT_A, TENANT_B, 1000, 80,
+                            TcpFlags.of("fin", "ack")), ack()]
+        cloud.vswitch_a.send_from_vnic_burst(cloud.vnic_a, burst)
+        run(cloud)
+        return asdict(cloud.vswitch_a.stats), asdict(cloud.vswitch_b.stats)
+    finally:
+        Datapath.batching = saved
+
+
+def test_burst_stats_identical_to_per_packet_path():
+    """Every counter on both ends must match the legacy per-packet path,
+    including for a burst with a miss and an FSM transition inside."""
+    assert _mixed_burst_stats(batching=True) == _mixed_burst_stats(
+        batching=False)
+
+
+def test_warm_burst_is_one_lookup_all_fast_hits(cloud):
+    cloud.vnic_b.attach_guest(lambda pkt: None)
+    cloud.vswitch_a.send_from_vnic(cloud.vnic_a, udp())
+    run(cloud)
+    assert cloud.vswitch_a.stats.slow_path_lookups == 1
+    cloud.vswitch_a.send_from_vnic_burst(
+        cloud.vnic_a, [udp() for _ in range(6)])
+    run(cloud)
+    assert cloud.vswitch_a.stats.slow_path_lookups == 1  # no new lookups
+    assert cloud.vswitch_a.stats.fast_path_hits == 6
+    assert cloud.vswitch_b.stats.delivered == 7
+
+
+def test_miss_in_burst_falls_back_per_packet_then_resumes(cloud):
+    """A fresh flow's first packet takes the per-packet slow path; the
+    entry it installs lets the rest of the burst ride the fast path."""
+    cloud.vnic_b.attach_guest(lambda pkt: None)
+    cloud.vswitch_a.send_from_vnic_burst(
+        cloud.vnic_a, [udp() for _ in range(5)])
+    run(cloud)
+    assert cloud.vswitch_a.stats.slow_path_lookups == 1
+    assert cloud.vswitch_a.stats.fast_path_hits == 4
+    assert cloud.vswitch_b.stats.delivered == 5
+
+
+def test_fsm_advancing_packet_excluded_from_runs(cloud):
+    """A FIN must leave the batch and go through the per-packet path so
+    the FSM advances exactly once, in order."""
+    cloud.vnic_b.attach_guest(lambda pkt: None)
+    cloud.vswitch_a.send_from_vnic(cloud.vnic_a, syn())
+    run(cloud)
+    before = cloud.vswitch_a.stats.slow_path_lookups
+    burst = [Packet.tcp(TENANT_A, TENANT_B, 1000, 80, TcpFlags.of("ack")),
+             Packet.tcp(TENANT_A, TENANT_B, 1000, 80,
+                        TcpFlags.of("fin", "ack"))]
+    cloud.vswitch_a.send_from_vnic_burst(cloud.vnic_a, burst)
+    run(cloud)
+    assert cloud.vswitch_a.stats.slow_path_lookups == before  # still a hit
+    entry = cloud.vswitch_a.session_table.lookup(VNI, syn().five_tuple())
+    assert entry.state.tcp_state is not TcpState.ESTABLISHED  # FIN advanced it
+    assert cloud.vswitch_b.stats.delivered == 3
+
+
+def test_vm_send_burst_charges_kernel_once(cloud):
+    vm = Vm(cloud.engine, "vm", vcpus=2)
+    vm.attach_vnic(cloud.vnic_a)
+    got = []
+    cloud.vnic_b.attach_guest(got.append)
+    vm.send_burst(cloud.vnic_a, [udp() for _ in range(4)])
+    cloud.engine.run(until=0.5)
+    assert len(got) == 4
+    assert vm.cpu.jobs_done == 1  # one transaction for the whole burst
+    assert vm.kernel_lock.jobs_done == 0  # no new connections involved
+
+
+def test_vm_send_burst_drop_tail_rejects_whole_bursts(cloud):
+    vm = Vm(cloud.engine, "vm", vcpus=1)
+    vm.attach_vnic(cloud.vnic_a)
+    for base in range(0, 1600, 8):
+        vm.send_burst(cloud.vnic_a,
+                      [Packet.tcp(TENANT_A, TENANT_B, 1024 + base + i, 80,
+                                  TcpFlags.of("syn")) for i in range(8)],
+                      new_connection=True)
+    assert vm.conns_opened == 1600
+    assert vm.kernel_drops > 0
+    assert vm.kernel_drops % 8 == 0  # whole bursts, never partial

@@ -120,3 +120,59 @@ def test_elephant_is_one_flow_many_packets():
     # One session despite hundreds of packets.
     assert cloud.vswitch_a.stats.slow_path_lookups == 1
     assert all(pkt.five_tuple() == elephant.five_tuple for pkt in got)
+
+
+# -- burst emission ----------------------------------------------------------------------
+
+def test_elephant_burst_is_still_one_flow():
+    cloud = build_cloud()
+    vm = Vm(cloud.engine, "pump", vcpus=8)
+    vm.attach_vnic(cloud.vnic_a)
+    got = []
+    cloud.vnic_b.attach_guest(got.append)
+    elephant = ElephantFlow(cloud.engine, vm, cloud.vnic_a, TENANT_B,
+                            rate_pps=500, burst=8).run(duration=0.5)
+    cloud.engine.run(until=1.0)
+    assert elephant.sent > 200
+    assert len(got) > 200
+    # Bursting changes the emission pattern, not the flow structure.
+    assert cloud.vswitch_a.stats.slow_path_lookups == 1
+    assert all(pkt.five_tuple() == elephant.five_tuple for pkt in got)
+
+
+def test_syn_flood_burst_creates_same_sessions():
+    def flood_sessions(burst):
+        cloud = build_cloud()
+        vm = Vm(cloud.engine, "attacker", vcpus=8)
+        vm.attach_vnic(cloud.vnic_a)
+        cloud.vnic_b.attach_guest(lambda pkt: None)
+        SynFlood(cloud.engine, vm, cloud.vnic_a, TENANT_B,
+                 rate_pps=200, rng=SeededRng(2, "f"),
+                 burst=burst).run(duration=1.0)
+        cloud.engine.run(until=1.0)
+        return sorted((e.five_tuple.src_port, e.five_tuple.dst_port)
+                      for e in cloud.vswitch_a.session_table)
+
+    per_packet = flood_sessions(burst=1)
+    bursty = flood_sessions(burst=8)
+    assert len(per_packet) > 100
+    # Same sport rotation, so the same session population (modulo the
+    # tail truncated at the duration boundary).
+    shorter = min(len(per_packet), len(bursty))
+    assert shorter > 100
+    assert set(bursty[:shorter]) <= set(per_packet) or \
+        set(per_packet[:shorter]) <= set(bursty)
+
+
+def test_flow_holder_burst_keepalive_prevents_aging():
+    cloud = build_cloud()
+    vm = Vm(cloud.engine, "holder", vcpus=8)
+    vm.attach_vnic(cloud.vnic_a)
+    cloud.vnic_b.attach_guest(lambda pkt: None)
+    cloud.vswitch_a.start_aging(interval=0.25)
+    holder = ConcurrentFlowHolder(cloud.engine, vm, cloud.vnic_a, TENANT_B,
+                                  target=20, keepalive=0.4,
+                                  burst=8).start()
+    cloud.engine.run(until=4.0)
+    assert holder.established() == 20  # burst keepalives still refresh all
+    holder.stop()

@@ -35,6 +35,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
@@ -47,6 +48,18 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
 DEFAULT_MACRO_OUTPUT = REPO_ROOT / "BENCH_experiments.json"
 SCHEMA = "bench_fastpath/v1"
 MACRO_SCHEMA = "bench_experiments/v1"
+
+
+def _git_commit() -> str:
+    """Commit hash the numbers were generated at (None outside a work
+    tree), so trajectory JSONs stay attributable."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+                             capture_output=True, text=True, timeout=10)
+    except OSError:
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
 
 
 def _fmt(value) -> str:
@@ -121,6 +134,7 @@ def run_experiments_mode(args) -> int:
         "config": {
             "jobs": jobs,
             "cpu_count": os.cpu_count(),
+            "git_commit": _git_commit(),
             "profile": args.profile,
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -194,6 +208,8 @@ def main(argv=None) -> int:
             "target_seconds": target,
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+            "git_commit": _git_commit(),
         },
         "calibration_ops_per_sec": calibration,
         "benches": results,

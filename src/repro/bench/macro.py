@@ -64,6 +64,11 @@ MACRO_BENCHES: List[MacroBench] = [
         "tablea1", "rule-lookup throughput grid (24 cells)", "tablea1",
         quick_kwargs=dict(lookups_per_cell=100),
         full_kwargs=dict()),
+    MacroBench(
+        "chaos", "fault-injection soak over the failover control plane",
+        "chaos",
+        quick_kwargs=dict(horizon=4.0, settle=2.5),
+        full_kwargs=dict()),
 ]
 
 # ``all --fast`` exercises the runner-level fan-out: whole experiments

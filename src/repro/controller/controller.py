@@ -24,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.errors import ReproError
 from repro.fabric.device import ServerNode
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, Interrupt
 from repro.sim.rng import SeededRng
 from repro.sim.trace import Trace
 from repro.vswitch.vnic import Vnic
@@ -81,14 +82,22 @@ class NezhaController:
         self.nodes: Dict[str, _NodeBook] = {}
         self._fallback_idle_polls: Dict[int, int] = {}
         self._started = False
+        self._proc = None
+        # vNICs with an offload or scale-out flow still in flight: the
+        # reconcile loop must not re-pick them on the next tick (the flow's
+        # effects are not visible yet), or one hot vNIC gets double-offloaded
+        # / serially over-scaled.
+        self._inflight_vnics: Set[int] = set()
         self.offloads_triggered = 0
         self.scale_outs = 0
         self.scale_ins = 0
         self.fallbacks = 0
         self.failovers = 0
+        self.reconcile_errors = 0
         orchestrator.need_fe_callback = self._on_need_fes
         if monitor is not None:
             monitor.on_down = self._on_target_down
+            monitor.on_up = self._on_target_up
 
     # -- registration ------------------------------------------------------------
 
@@ -104,30 +113,104 @@ class NezhaController:
         self._started = True
 
         def loop():
-            while True:
-                self.reconcile()
-                yield self.engine.timeout(self.config.poll_interval)
+            try:
+                while True:
+                    self.reconcile()
+                    yield self.engine.timeout(self.config.poll_interval)
+            except Interrupt:
+                return  # stop() — exit cleanly, restartable via start()
 
-        self.engine.process(loop(), name="controller")
+        self._proc = self.engine.process(loop(), name="controller")
+
+    def stop(self) -> None:
+        """Kill the reconcile loop (fault injection / maintenance); a later
+        :meth:`start` resumes from current cluster state."""
+        if not self._started:
+            return
+        self._started = False
+        proc = self._proc
+        self._proc = None
+        if proc is not None and not proc.done:
+            proc.interrupt("controller stopped")
 
     def reconcile(self) -> None:
-        """One reconciliation pass (callable directly from tests)."""
+        """One reconciliation pass (callable directly from tests).
+
+        Each sub-step is isolated: an unreachable gateway/monitor or a
+        half-crashed vSwitch makes that step fail, not the whole loop —
+        the controller degrades to whatever it can still reconcile and
+        retries the rest next tick.
+        """
         self._update_rates()
         for book in list(self.nodes.values()):
             vswitch = book.vswitch
             if vswitch.crashed:
                 continue
-            cpu = vswitch.cpu_utilization()
-            mem = vswitch.memory_utilization()
-            if (cpu > self.config.offload_threshold
-                    or mem > self.config.memory_offload_threshold):
-                self._offload_hottest(book, by_memory=(
-                    mem > self.config.memory_offload_threshold
-                    and cpu <= self.config.offload_threshold))
-            elif cpu > self.config.scale_threshold:
-                self._scale(book, cpu)
+            try:
+                cpu = vswitch.cpu_utilization()
+                mem = vswitch.memory_utilization()
+                if (cpu > self.config.offload_threshold
+                        or mem > self.config.memory_offload_threshold):
+                    self._offload_hottest(book, by_memory=(
+                        mem > self.config.memory_offload_threshold
+                        and cpu <= self.config.offload_threshold))
+                elif cpu > self.config.scale_threshold:
+                    self._scale(book, cpu)
+            except ReproError as err:
+                self._degraded("reconcile", vswitch.name, err)
+        try:
+            self._ensure_min_fes()
+        except ReproError as err:
+            self._degraded("min_fes", "-", err)
         if self.config.enable_fallback:
-            self._consider_fallbacks()
+            try:
+                self._consider_fallbacks()
+            except ReproError as err:
+                self._degraded("fallback", "-", err)
+
+    def _degraded(self, step: str, target: str, err: Exception) -> None:
+        self.reconcile_errors += 1
+        self.trace.emit("controller.reconcile_error", step=step,
+                        target=target, error=str(err))
+
+    def _track_flow(self, vnic_id: int, done) -> None:
+        """Mark ``vnic_id`` in-flight until ``done`` fires (however the
+        flow ends — aborted flows release their waiters too)."""
+        self._inflight_vnics.add(vnic_id)
+
+        def watch():
+            try:
+                yield done
+            except ReproError:
+                pass  # a failed flow still clears the in-flight mark
+            self._inflight_vnics.discard(vnic_id)
+
+        self.engine.process(watch(), name=f"flow-watch-{vnic_id}")
+
+    def _ensure_min_fes(self) -> None:
+        """Top ACTIVE handles back up to ``min_fes`` — the convergence
+        backstop when a replacement scale-out was lost to RPC failures."""
+        for handle in list(self.orchestrator.handles.values()):
+            if handle.state is not OffloadState.ACTIVE:
+                continue
+            vnic_id = handle.vnic.vnic_id
+            if vnic_id in self._inflight_vnics:
+                continue
+            shortfall = self.config.min_fes - len(handle.frontends)
+            if shortfall > 0:
+                self._on_need_fes(handle, shortfall)
+            elif self.gateway.lookup(handle.vnic.vni,
+                                     handle.vnic.tenant_ip) is not None:
+                # Self-heal a gateway entry that drifted from the FE set
+                # (e.g. a scale-out whose gateway update was lost).
+                entry = self.gateway.lookup(handle.vnic.vni,
+                                            handle.vnic.tenant_ip)
+                if set(entry.locations) != set(handle.fe_locations):
+                    self.gateway.set_locations(handle.vnic.vni,
+                                               handle.vnic.tenant_ip,
+                                               handle.fe_locations)
+                    self.trace.emit("controller.gateway_resync",
+                                    vnic=vnic_id)
 
     # -- per-vNIC telemetry -------------------------------------------------------------
 
@@ -146,7 +229,8 @@ class NezhaController:
         vswitch = book.vswitch
         candidates = [v for v in vswitch.vnics.values()
                       if not v.offloaded
-                      and v.vnic_id not in self.orchestrator.handles]
+                      and v.vnic_id not in self.orchestrator.handles
+                      and v.vnic_id not in self._inflight_vnics]
         if not candidates:
             return
         if by_memory:
@@ -164,7 +248,8 @@ class NezhaController:
             if not fes:
                 self.trace.emit("controller.no_fes", vnic=vnic.vnic_id)
                 return
-            self.orchestrator.offload(vnic, fes)
+            handle = self.orchestrator.offload(vnic, fes)
+            self._track_flow(vnic.vnic_id, handle.completion)
             self.offloads_triggered += 1
             self.trace.emit("controller.offload", vnic=vnic.vnic_id,
                             vswitch=vswitch.name, by_memory=by_memory,
@@ -188,13 +273,17 @@ class NezhaController:
             # Remote offloading overloads this host: scale those vNICs out.
             for vnic_id in list(agent.frontends):
                 handle = self.orchestrator.handles.get(vnic_id)
-                if handle is None:
+                if handle is None or vnic_id in self._inflight_vnics:
+                    # An earlier scale-out for this vNIC is still in
+                    # flight; its FE is not visible in the handle yet, so
+                    # acting again would serially over-scale the vNIC.
                     continue
                 new_fes = self.placement.select(
                     handle.be_vswitch, 1,
                     avoid={vs.server.name for vs in handle.fe_vswitches})
                 if new_fes:
-                    self.orchestrator.scale_out(handle, new_fes)
+                    done = self.orchestrator.scale_out(handle, new_fes)
+                    self._track_flow(vnic_id, done)
                     self.scale_outs += 1
                     self.trace.emit("controller.scale_out",
                                     vnic=vnic_id, fe=new_fes[0].name)
@@ -264,27 +353,48 @@ class NezhaController:
 
     # -- failover ----------------------------------------------------------------------------------
 
-    def _on_target_down(self, server: ServerNode) -> None:
+    def _vswitch_for(self, server: ServerNode) -> Optional[VSwitch]:
         book = self.nodes.get(f"vs-{server.name}")
-        vswitch = book.vswitch if book is not None else None
-        if vswitch is None:
-            for candidate in self.nodes.values():
-                if candidate.vswitch.server is server:
-                    vswitch = candidate.vswitch
-                    break
+        if book is not None:
+            return book.vswitch
+        for candidate in self.nodes.values():
+            if candidate.vswitch.server is server:
+                return candidate.vswitch
+        return None
+
+    def _on_target_down(self, server: ServerNode) -> None:
+        vswitch = self._vswitch_for(server)
         if vswitch is None:
             return
         self.failovers += 1
         self.trace.emit("controller.failover", vswitch=vswitch.name)
         self.placement.exclude(vswitch)
-        self.orchestrator.fail_fe(vswitch)
+        try:
+            self.orchestrator.fail_fe(vswitch)
+        except ReproError as err:
+            # This callback runs inside the monitor's sweep; an exception
+            # here would kill the monitor process, blinding failover for
+            # every other target.
+            self._degraded("failover", vswitch.name, err)
+
+    def _on_target_up(self, server: ServerNode) -> None:
+        """A previously-down target answers probes again: let placement
+        use it once more (it stayed excluded forever otherwise)."""
+        vswitch = self._vswitch_for(server)
+        if vswitch is None or vswitch.crashed:
+            return
+        self.placement.readmit(vswitch)
+        self.trace.emit("controller.readmit", vswitch=vswitch.name)
 
     def _on_need_fes(self, handle: OffloadHandle, shortfall: int) -> None:
+        if handle.vnic.vnic_id in self._inflight_vnics:
+            return  # a replacement flow is already running
         new_fes = self.placement.select(
             handle.be_vswitch, shortfall,
             avoid={vs.server.name for vs in handle.fe_vswitches})
         if new_fes:
-            self.orchestrator.scale_out(handle, new_fes)
+            done = self.orchestrator.scale_out(handle, new_fes)
+            self._track_flow(handle.vnic.vnic_id, done)
             if self.monitor is not None:
                 for fe in new_fes:
                     self.monitor.add_target(fe.server)

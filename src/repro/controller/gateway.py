@@ -10,7 +10,7 @@ precisely to absorb this window (§4.2.1, Fig 7).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.addr import IPv4Address
 from repro.sim.engine import Engine
@@ -25,6 +25,10 @@ class Gateway:
     def __init__(self, engine: Engine) -> None:
         self.engine = engine
         self._entries: Dict[Tuple[int, int], MappingEntry] = {}
+        # Removal tombstones: key -> version at which the entry was deleted.
+        # Learners pull these alongside the snapshot so their tables drop
+        # removed entries instead of forwarding to stale locations forever.
+        self._removed: Dict[Tuple[int, int], int] = {}
         self._version = 0
         self.learners: List["MappingLearner"] = []
 
@@ -35,14 +39,18 @@ class Gateway:
         """Point a vNIC's entry at new serving locations; returns the new
         entry version."""
         self._version += 1
+        key = (vni, IPv4Address(tenant_ip).value)
         entry = MappingEntry(vni=vni, locations=locations,
                              version=self._version)
-        self._entries[(vni, IPv4Address(tenant_ip).value)] = entry
+        self._entries[key] = entry
+        self._removed.pop(key, None)
         return self._version
 
     def remove(self, vni: int, tenant_ip: IPv4Address) -> None:
         self._version += 1
-        self._entries.pop((vni, IPv4Address(tenant_ip).value), None)
+        key = (vni, IPv4Address(tenant_ip).value)
+        if self._entries.pop(key, None) is not None:
+            self._removed[key] = self._version
 
     # -- queries ----------------------------------------------------------------
 
@@ -52,6 +60,11 @@ class Gateway:
     def snapshot(self, vni: int) -> Dict[Tuple[int, int], MappingEntry]:
         """All current entries for one VPC (what a learner pulls)."""
         return {key: entry for key, entry in self._entries.items()
+                if key[0] == vni}
+
+    def removals(self, vni: int) -> Dict[Tuple[int, int], int]:
+        """Deletion tombstones for one VPC, pulled with the snapshot."""
+        return {key: version for key, version in self._removed.items()
                 if key[0] == vni}
 
     @property
@@ -90,6 +103,10 @@ class MappingLearner:
         self._synced: Dict[int, int] = {}     # vni -> gateway version pulled
         self._phase = (rng.uniform(0.0, interval) if rng is not None else 0.0)
         self._started = False
+        # Fault-injection hook: return True to drop this pull on the floor
+        # (the gateway was unreachable); the next periodic refresh retries.
+        self.fault_hook: Optional[Callable[["MappingLearner"], bool]] = None
+        self.pulls_dropped = 0
         gateway.register_learner(self)
 
     def cares_about(self, vni: int) -> bool:
@@ -120,6 +137,9 @@ class MappingLearner:
         """
         if self.vswitch.crashed:
             return
+        if self.fault_hook is not None and self.fault_hook(self):
+            self.pulls_dropped += 1
+            return
         current = self.gateway.version
         for vnic in self.vswitch.vnics.values():
             table = vnic.slow_path.table("vnic_server_mapping")
@@ -129,6 +149,14 @@ class MappingLearner:
                 old = table.lookup(vni, IPv4Address(ip_value))
                 table.set_entry(vni, IPv4Address(ip_value), entry)
                 if old is not None and old.version != entry.version:
+                    self.vswitch.session_table.invalidate_peer_flows(
+                        vni, ip_value)
+            # Reconcile deletions: a removed gateway entry must also leave
+            # this vSwitch's table, or packets keep forwarding to the stale
+            # location indefinitely.
+            for (vni, ip_value) in self.gateway.removals(vnic.vni):
+                if table.lookup(vni, IPv4Address(ip_value)) is not None:
+                    table.remove_entry(vni, IPv4Address(ip_value))
                     self.vswitch.session_table.invalidate_peer_flows(
                         vni, ip_value)
             self._synced[vnic.vni] = current

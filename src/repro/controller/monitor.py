@@ -57,6 +57,7 @@ class HealthMonitor:
         self._seq = 0
         self._seq_to_target: Dict[int, str] = {}
         self.on_down: Optional[Callable[[ServerNode], None]] = None
+        self.on_up: Optional[Callable[[ServerNode], None]] = None
         self.suspended = False          # Appendix C.2 manual-intervention flag
         self._started = False
         monitor_server.attach_sink(self._on_packet)
@@ -68,11 +69,33 @@ class HealthMonitor:
             self.targets[server.name] = TargetState(server)
 
     def remove_target(self, server: ServerNode) -> None:
-        self.targets.pop(server.name, None)
+        state = self.targets.pop(server.name, None)
+        if state is not None and state.outstanding_seq is not None:
+            # A probe to the removed target may still be in flight; without
+            # this purge a late echo reply would resolve the stale seq and
+            # the mapping entry would leak forever if no reply ever came.
+            self._seq_to_target.pop(state.outstanding_seq, None)
+            state.outstanding_seq = None
 
     def reset_suspension(self) -> None:
-        """Manual operator action re-enabling automatic removal."""
+        """Manual operator action re-enabling automatic removal.
+
+        Targets that genuinely died while removal was suspended have
+        ``consecutive_misses`` over the threshold but were never reported
+        (``_evaluate_down`` returns early when suspended) — report them
+        now, otherwise they would only surface after a fresh miss streak,
+        or never, because every subsequent sweep re-enters the mass-failure
+        branch and re-suspends.
+        """
         self.suspended = False
+        pending = [state for state in self.targets.values()
+                   if state.consecutive_misses >= self.miss_threshold
+                   and not state.down_reported]
+        for state in pending:
+            state.down_reported = True
+            self.trace.emit("monitor.target_down", target=state.server.name)
+            if self.on_down is not None:
+                self.on_down(state.server)
 
     # -- probing loop ------------------------------------------------------------
 
@@ -82,11 +105,16 @@ class HealthMonitor:
         self._started = True
 
         def loop():
-            while True:
+            while self._started:
                 self._sweep()
                 yield self.engine.timeout(self.interval)
 
         self.engine.process(loop(), name="health-monitor")
+
+    def stop(self) -> None:
+        """Stop probing (the loop exits at its next tick). A later
+        :meth:`start` resumes with the same target set."""
+        self._started = False
 
     def _sweep(self) -> None:
         # First account for last round's unanswered probes.
@@ -158,6 +186,8 @@ class HealthMonitor:
         if state.down_reported:
             state.down_reported = False
             self.trace.emit("monitor.target_up", target=target_name)
+            if self.on_up is not None:
+                self.on_up(state.server)
 
 
 class MutualPing:

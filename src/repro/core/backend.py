@@ -44,6 +44,7 @@ class BackendStats:
     acl_drops: int = 0
     state_full_drops: int = 0
     states_created: int = 0
+    invalid_meta_drops: int = 0    # NSH hop arrived without pre-actions
 
 
 class BackendInstance(Datapath):
@@ -144,6 +145,7 @@ class BackendInstance(Datapath):
         cm = vs.cost_model
         pre_actions = meta.pre_actions
         if pre_actions is None:
+            self.stats.invalid_meta_drops += 1
             return
         state = self._state_for(packet, Direction.RX, create=True)
         if state is None:

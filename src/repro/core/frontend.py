@@ -45,6 +45,8 @@ class FrontendStats:
     acl_drops: int = 0
     notifies_sent: int = 0
     flow_insert_failures: int = 0
+    inactive_drops: int = 0        # arrivals after teardown began
+    no_preaction_drops: int = 0    # lookup yielded nothing to apply
 
 
 class FrontendInstance:
@@ -60,6 +62,10 @@ class FrontendInstance:
         self.suppress_redundant_notifies = suppress_redundant_notifies
         self.stats = FrontendStats()
         self.active = True
+        # Set while a graceful retirement's grace period runs: the FE is
+        # no longer in its handle's FE set but still serves in-flight
+        # traffic (invariant checks exempt it from orphan detection).
+        self.retiring = False
         # Charge the remote copy of the rule tables to this SmartNIC.
         self.mem_tag = f"fe_rules:{vnic.vnic_id}"
         vswitch.mem.alloc(self.mem_tag, vnic.table_memory_bytes())
@@ -120,9 +126,11 @@ class FrontendInstance:
         cm = vs.cost_model
         state = meta.state
         if state is None or not self.active:
+            self.stats.inactive_drops += 1
             return
         pre_actions, cycles, was_miss = self._flows_for(packet, Direction.TX)
         if pre_actions is None:
+            self.stats.no_preaction_drops += 1
             return
 
         def complete():
@@ -197,6 +205,7 @@ class FrontendInstance:
             packet.invalidate_flow_cache()
         pre_actions, cycles, _was_miss = self._flows_for(packet, Direction.RX)
         if pre_actions is None:
+            self.stats.no_preaction_drops += 1
             return True
 
         def complete():

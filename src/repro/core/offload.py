@@ -57,6 +57,13 @@ class OffloadConfig:
     sync_poll: float = 0.02             # learner-sync polling period
     sync_timeout: float = 10.0          # give up waiting for laggard learners
     latency: ControlLatencyModel = field(default_factory=ControlLatencyModel)
+    # Control-plane RPC hardening: every workflow stage retries with
+    # exponential backoff after ``rpc_timeout`` of silence, then the flow
+    # aborts (and rolls back) rather than wedging half-complete.
+    rpc_max_attempts: int = 4
+    rpc_timeout: float = 0.25
+    rpc_backoff_base: float = 0.05
+    rpc_backoff_cap: float = 0.4
 
 
 class OffloadHandle:
@@ -73,6 +80,9 @@ class OffloadHandle:
         self.triggered_at = 0.0
         self.completed_at: Optional[float] = None
         self.completion: Optional[Event] = None
+        # True when the offload flow gave up and rolled back; ``completion``
+        # still fires (successfully) so waiters are released either way.
+        self.failed = False
 
     @property
     def fe_locations(self) -> List[Location]:
@@ -111,6 +121,15 @@ class NezhaOrchestrator:
         # controller wires this to its placement logic.
         self.need_fe_callback: Optional[
             Callable[[OffloadHandle, int], None]] = None
+        # Fault-injection hook, called once per RPC attempt with
+        # ``(stage, attempt)``. Return ``None``/``"ok"`` for a normal
+        # delivery, ``"drop"`` to lose the RPC, ``"dup"`` to deliver it
+        # twice, or ``("delay", seconds)`` for extra latency.
+        self.rpc_fault_hook: Optional[Callable[[str, int], object]] = None
+        self.rpc_drops = 0
+        self.rpc_retries_recovered = 0
+        self.rpc_giveups = 0
+        self.aborted_offloads = 0
 
     # -- agents ------------------------------------------------------------------
 
@@ -123,6 +142,44 @@ class NezhaOrchestrator:
 
     def _rpc_delay(self) -> float:
         return self.config.latency.sample(self.rng)
+
+    def _rpc(self, stage: str):
+        """One control-plane RPC with bounded retry + exponential backoff.
+
+        Subroutine for workflow processes (``yield from``). Returns the
+        number of times the RPC was *delivered*: 0 after exhausting
+        ``rpc_max_attempts`` (the caller must abort/degrade), 1 normally,
+        2 when the network duplicated it — callers apply their mutation
+        once per delivery, so idempotent re-entry is exercised, not just
+        assumed.
+        """
+        cfg = self.config
+        backoff = cfg.rpc_backoff_base
+        for attempt in range(cfg.rpc_max_attempts):
+            verdict, extra_delay = "ok", 0.0
+            if self.rpc_fault_hook is not None:
+                raw = self.rpc_fault_hook(stage, attempt)
+                if isinstance(raw, tuple):
+                    verdict, extra_delay = raw
+                elif raw:
+                    verdict = raw
+            if verdict == "drop":
+                self.rpc_drops += 1
+                self.trace.emit("nezha.rpc_drop", stage=stage,
+                                attempt=attempt)
+                yield self.engine.timeout(cfg.rpc_timeout + backoff)
+                backoff = min(backoff * 2.0, cfg.rpc_backoff_cap)
+                continue
+            yield self.engine.timeout(self._rpc_delay() + extra_delay)
+            if attempt:
+                self.rpc_retries_recovered += 1
+                self.trace.emit("nezha.rpc_recovered", stage=stage,
+                                attempts=attempt + 1)
+            return 2 if verdict == "dup" else 1
+        self.rpc_giveups += 1
+        self.trace.emit("nezha.rpc_giveup", stage=stage,
+                        attempts=cfg.rpc_max_attempts)
+        return 0
 
     # -- offload (§4.2.1) -----------------------------------------------------------
 
@@ -155,24 +212,46 @@ class NezhaOrchestrator:
         self.trace.emit("nezha.offload_trigger", vnic=vnic.vnic_id,
                         be=handle.be_vswitch.name)
         # 1. Configure the vNIC's rule tables in every selected FE.
-        yield self.engine.timeout(self._rpc_delay())
-        for fe_vswitch in fe_vswitches:
-            self._create_frontend(handle, fe_vswitch)
+        deliveries = yield from self._rpc("offload.configure_fes")
+        if deliveries == 0:
+            self._abort_offload(handle)
+            return
+        for _ in range(deliveries):
+            for fe_vswitch in fe_vswitches:
+                self._create_frontend(handle, fe_vswitch)
+        if not handle.frontends:
+            # Every target crashed (or ran out of memory) under our feet.
+            self._abort_offload(handle)
+            return
         # 2. Configure BE/FE locations; the BE datapath takes over (TX now
         #    relays via FEs; direct RX is processed with retained tables).
-        yield self.engine.timeout(self._rpc_delay())
-        be_agent = self.agent_for(handle.be_vswitch)
-        be_agent.register_backend(handle.backend)
-        handle.be_vswitch.session_table.demote_vni(vnic.vni)
+        deliveries = yield from self._rpc("offload.install_be")
+        if deliveries == 0:
+            self._abort_offload(handle)
+            return
+        for _ in range(deliveries):
+            self._install_backend(handle)
         # 3. Update the gateway's vNIC-server entry to the FE locations.
-        yield self.engine.timeout(self._rpc_delay())
-        version = self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
-                                             handle.fe_locations)
+        deliveries = yield from self._rpc("offload.update_gateway")
+        if deliveries == 0:
+            self._abort_offload(handle)
+            return
+        version = 0
+        for _ in range(deliveries):
+            version = self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
+                                                 handle.fe_locations)
         # Dual-running: wait for every learner, then the in-flight margin.
         yield from self._await_sync(vnic.vni, version)
         yield self.engine.timeout(self.config.inflight_margin)
+        # A racing failover may have emptied the FE set (or replaced the
+        # handle) while we waited; completing would strand the vNIC.
+        if self.handles.get(vnic.vnic_id) is not handle \
+                or not handle.frontends:
+            self._abort_offload(handle)
+            return
         # Final stage: delete local rule tables and cached flows.
-        handle.be_vswitch.release_vnic_tables(vnic.vnic_id)
+        if not vnic.offloaded:
+            handle.be_vswitch.release_vnic_tables(vnic.vnic_id)
         handle.backend.tables_released = True
         handle.state = OffloadState.ACTIVE
         handle.completed_at = self.engine.now
@@ -180,6 +259,53 @@ class NezhaOrchestrator:
                         duration=handle.activation_time,
                         fes=len(handle.frontends))
         handle.completion.succeed(handle)
+
+    def _install_backend(self, handle: OffloadHandle) -> None:
+        """Stage-2 mutation, idempotent: a duplicated/replayed RPC finds
+        the BE already registered and leaves it alone."""
+        vnic = handle.vnic
+        be_agent = self.agent_for(handle.be_vswitch)
+        if be_agent.backends.get(vnic.vnic_id) is not handle.backend:
+            if vnic.vnic_id in be_agent.backends:
+                be_agent.unregister_backend(vnic.vnic_id)
+            be_agent.register_backend(handle.backend)
+        handle.be_vswitch.session_table.demote_vni(vnic.vni)
+
+    def _abort_offload(self, handle: OffloadHandle) -> None:
+        """Roll a half-completed offload back to purely local processing.
+
+        Safe to call from any stage: tears down whatever was built,
+        restores tables if they were released, points the gateway back at
+        the BE only if we had moved it, and releases completion waiters
+        with ``handle.failed`` set (never ``Event.fail`` — a crashing
+        waiter would take the whole strict run down with it).
+        """
+        vnic = handle.vnic
+        handle.failed = True
+        self.aborted_offloads += 1
+        for location in list(handle.frontends):
+            self._remove_frontend(handle, location, graceful=False)
+        be_agent = self.agent_for(handle.be_vswitch)
+        if be_agent.backends.get(vnic.vnic_id) is handle.backend:
+            be_agent.unregister_backend(vnic.vnic_id)
+        if vnic.offloaded:
+            try:
+                handle.be_vswitch.restore_vnic_tables(vnic.vnic_id)
+            except ResourceExhausted:
+                self.trace.emit("nezha.abort_restore_failed",
+                                vnic=vnic.vnic_id)
+        be_location = Location(handle.be_vswitch.server.underlay_ip,
+                               handle.be_vswitch.server.mac)
+        entry = self.gateway.lookup(vnic.vni, vnic.tenant_ip)
+        if entry is not None and entry.locations != [be_location]:
+            self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
+                                       [be_location])
+        handle.state = OffloadState.INACTIVE
+        if self.handles.get(vnic.vnic_id) is handle:
+            self.handles.pop(vnic.vnic_id)
+        self.trace.emit("nezha.offload_abort", vnic=vnic.vnic_id)
+        if handle.completion is not None and not handle.completion.fired:
+            handle.completion.succeed(handle)
 
     def _create_frontend(self, handle: OffloadHandle,
                          fe_vswitch: VSwitch) -> Optional[FrontendInstance]:
@@ -190,11 +316,30 @@ class NezhaOrchestrator:
                             vnic=handle.vnic.vnic_id,
                             vswitch=fe_vswitch.name)
             return None
+        if fe_vswitch.crashed:
+            # The target died between selection and this RPC landing.
+            self.trace.emit("nezha.fe_target_crashed",
+                            vnic=handle.vnic.vnic_id,
+                            vswitch=fe_vswitch.name)
+            return None
+        agent = self.agent_for(fe_vswitch)
+        if handle.vnic.vnic_id in agent.frontends:
+            # A replayed configure RPC: the instance is already installed.
+            self.trace.emit("nezha.fe_already_present",
+                            vnic=handle.vnic.vnic_id,
+                            vswitch=fe_vswitch.name)
+            return None
         be_location = Location(handle.be_vswitch.server.underlay_ip,
                                handle.be_vswitch.server.mac)
-        frontend = FrontendInstance(fe_vswitch, handle.vnic,
-                                    handle.vnic.slow_path, be_location)
-        self.agent_for(fe_vswitch).register_frontend(frontend)
+        try:
+            frontend = FrontendInstance(fe_vswitch, handle.vnic,
+                                        handle.vnic.slow_path, be_location)
+        except ResourceExhausted:
+            self.trace.emit("nezha.fe_target_oom",
+                            vnic=handle.vnic.vnic_id,
+                            vswitch=fe_vswitch.name)
+            return None
+        agent.register_frontend(frontend)
         location = frontend.location()
         handle.frontends[location] = frontend
         handle.selector.add(location)
@@ -224,9 +369,15 @@ class NezhaOrchestrator:
         vnic = handle.vnic
         self.trace.emit("nezha.fallback_trigger", vnic=vnic.vnic_id)
         # 1. Restore the rule tables locally (dual-running, mirrored).
-        yield self.engine.timeout(self._rpc_delay())
+        deliveries = yield from self._rpc("fallback.restore_tables")
+        if deliveries == 0:
+            handle.state = OffloadState.ACTIVE
+            done.fail(OffloadError(
+                f"fallback of vNIC {vnic.vnic_id}: BE unreachable"))
+            return
         try:
-            handle.be_vswitch.restore_vnic_tables(vnic.vnic_id)
+            if vnic.offloaded:
+                handle.be_vswitch.restore_vnic_tables(vnic.vnic_id)
         except ResourceExhausted:
             handle.state = OffloadState.ACTIVE
             done.fail(OffloadError(
@@ -234,20 +385,35 @@ class NezhaOrchestrator:
             return
         handle.backend.tables_released = False
         # 2. Point the gateway back at the BE.
-        yield self.engine.timeout(self._rpc_delay())
+        deliveries = yield from self._rpc("fallback.update_gateway")
+        if deliveries == 0:
+            # Gateway unreachable: revert to the offloaded steady state
+            # (re-release the tables) rather than leaving the BE holding
+            # tables while remote senders still target the FEs.
+            handle.be_vswitch.release_vnic_tables(vnic.vnic_id)
+            handle.backend.tables_released = True
+            handle.state = OffloadState.ACTIVE
+            done.fail(OffloadError(
+                f"fallback of vNIC {vnic.vnic_id}: gateway unreachable"))
+            return
         be_location = Location(handle.be_vswitch.server.underlay_ip,
                                handle.be_vswitch.server.mac)
-        version = self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
-                                             [be_location])
+        version = 0
+        for _ in range(deliveries):
+            version = self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
+                                                 [be_location])
         yield from self._await_sync(vnic.vni, version)
         yield self.engine.timeout(self.config.inflight_margin)
         # 3. Tear down FEs and the BE datapath; local processing resumes
         #    with session state intact (lazy flow promotion).
         for location in list(handle.frontends):
             self._remove_frontend(handle, location, graceful=False)
-        self.agent_for(handle.be_vswitch).unregister_backend(vnic.vnic_id)
+        be_agent = self.agent_for(handle.be_vswitch)
+        if be_agent.backends.get(vnic.vnic_id) is handle.backend:
+            be_agent.unregister_backend(vnic.vnic_id)
         handle.state = OffloadState.INACTIVE
-        self.handles.pop(vnic.vnic_id, None)
+        if self.handles.get(vnic.vnic_id) is handle:
+            self.handles.pop(vnic.vnic_id)
         self.trace.emit("nezha.fallback_complete", vnic=vnic.vnic_id)
         done.succeed(handle)
 
@@ -258,13 +424,30 @@ class NezhaOrchestrator:
         """Add FEs to an offloaded vNIC."""
         done = self.engine.event(f"scale-out-{handle.vnic.vnic_id}")
 
+        def _live() -> bool:
+            # The handle may fall back (or abort) while this flow is in
+            # flight; scaling a retired handle would resurrect orphan FEs.
+            return (self.handles.get(handle.vnic.vnic_id) is handle
+                    and handle.state in (OffloadState.DUAL_RUNNING,
+                                         OffloadState.ACTIVE))
+
         def flow():
-            yield self.engine.timeout(self._rpc_delay())
-            for fe_vswitch in fe_vswitches:
-                self._create_frontend(handle, fe_vswitch)
-            yield self.engine.timeout(self._rpc_delay())
-            version = self.gateway.set_locations(
-                handle.vnic.vni, handle.vnic.tenant_ip, handle.fe_locations)
+            deliveries = yield from self._rpc("scale_out.configure_fes")
+            if deliveries == 0 or not _live():
+                done.succeed(handle)
+                return
+            for _ in range(deliveries):
+                for fe_vswitch in fe_vswitches:
+                    self._create_frontend(handle, fe_vswitch)
+            deliveries = yield from self._rpc("scale_out.update_gateway")
+            if deliveries == 0 or not _live() or not handle.fe_locations:
+                done.succeed(handle)
+                return
+            version = 0
+            for _ in range(deliveries):
+                version = self.gateway.set_locations(
+                    handle.vnic.vni, handle.vnic.tenant_ip,
+                    handle.fe_locations)
             yield from self._await_sync(handle.vnic.vni, version)
             self.trace.emit("nezha.scale_out", vnic=handle.vnic.vnic_id,
                             fes=len(handle.frontends))
@@ -282,13 +465,21 @@ class NezhaOrchestrator:
                 if frontend.vswitch is vswitch:
                     self._retire_fe(handle, location, graceful=True)
                     removed += 1
-            shortfall = self.config.min_fes - len(handle.frontends)
-            if shortfall > 0 and self.need_fe_callback is not None:
-                self.need_fe_callback(handle, shortfall)
+            self._request_replacements(handle)
         if removed:
             self.trace.emit("nezha.scale_in", vswitch=vswitch.name,
                             removed=removed)
         return removed
+
+    def _request_replacements(self, handle: OffloadHandle) -> None:
+        """Ask the controller for FEs when a handle dropped below the
+        minimum — unless the handle is already on its way out (a racing
+        fallback/abort), where replacements would become orphans."""
+        if handle.state in (OffloadState.FALLING_BACK, OffloadState.INACTIVE):
+            return
+        shortfall = self.config.min_fes - len(handle.frontends)
+        if shortfall > 0 and self.need_fe_callback is not None:
+            self.need_fe_callback(handle, shortfall)
 
     # -- failover (§4.4) -------------------------------------------------------------------------
 
@@ -301,9 +492,7 @@ class NezhaOrchestrator:
                 if frontend.vswitch is vswitch:
                     self._retire_fe(handle, location, graceful=False)
                     failed += 1
-            shortfall = self.config.min_fes - len(handle.frontends)
-            if shortfall > 0 and self.need_fe_callback is not None:
-                self.need_fe_callback(handle, shortfall)
+            self._request_replacements(handle)
         if failed:
             self.trace.emit("nezha.failover", vswitch=vswitch.name,
                             removed=failed)
@@ -344,9 +533,15 @@ class NezhaOrchestrator:
 
         def pin_after():
             yield done
-            location = [loc for loc, fe in handle.frontends.items()
-                        if fe.vswitch is fe_vswitch][0]
-            handle.selector.pin(ft, location)
+            locations = [loc for loc, fe in handle.frontends.items()
+                         if fe.vswitch is fe_vswitch]
+            if not locations:
+                # The scale-out gave up (RPC failure) or the FE was already
+                # retired again; the flow keeps its hashed assignment.
+                self.trace.emit("nezha.elephant_pin_failed",
+                                vnic=handle.vnic.vnic_id)
+                return
+            handle.selector.pin(ft, locations[0])
             self.trace.emit("nezha.elephant_pinned",
                             vnic=handle.vnic.vnic_id)
 
@@ -412,28 +607,52 @@ class NezhaOrchestrator:
     def _retire_fe(self, handle: OffloadHandle, location: Location,
                    graceful: bool) -> None:
         """Remove one FE: selector and gateway first, then (after a grace
-        period covering the learning interval + RTT, §4.3) the instance."""
-        handle.selector.remove(location)
-        frontend = handle.frontends.pop(location)
+        period covering the learning interval + RTT, §4.3) the instance.
+
+        Idempotent: racing removals (``fail_fe`` during a ``fallback`` or
+        ``scale_in``) find the FE already gone and return without effect.
+        """
+        frontend = handle.frontends.pop(location, None)
+        if frontend is None:
+            return
+        if location in handle.selector.locations:
+            handle.selector.remove(location)
         if handle.fe_locations:
             self.gateway.set_locations(handle.vnic.vni,
                                        handle.vnic.tenant_ip,
                                        handle.fe_locations)
+        elif handle.state in (OffloadState.DUAL_RUNNING, OffloadState.ACTIVE):
+            # The last FE is gone: point the gateway back at the BE so
+            # traffic stops targeting a dead location. During dual-running
+            # the BE still processes everything; once ACTIVE it at least
+            # accounts the drops while replacements spin up.
+            be_location = Location(handle.be_vswitch.server.underlay_ip,
+                                   handle.be_vswitch.server.mac)
+            self.gateway.set_locations(handle.vnic.vni,
+                                       handle.vnic.tenant_ip, [be_location])
+            self.trace.emit("nezha.all_fes_lost", vnic=handle.vnic.vnic_id)
         agent = self.agent_for(frontend.vswitch)
         if graceful:
+            frontend.retiring = True
             grace = self.config.learning_interval + self.config.inflight_margin
 
             def later():
                 yield self.engine.timeout(grace)
-                agent.unregister_frontend(handle.vnic.vnic_id)
+                if agent.frontends.get(handle.vnic.vnic_id) is frontend:
+                    agent.unregister_frontend(handle.vnic.vnic_id)
 
             self.engine.process(later(), name="fe-retire")
         else:
-            agent.unregister_frontend(handle.vnic.vnic_id)
+            if agent.frontends.get(handle.vnic.vnic_id) is frontend:
+                agent.unregister_frontend(handle.vnic.vnic_id)
 
     def _remove_frontend(self, handle: OffloadHandle, location: Location,
                          graceful: bool) -> None:
-        handle.selector.remove(location)
-        frontend = handle.frontends.pop(location)
-        self.agent_for(frontend.vswitch).unregister_frontend(
-            handle.vnic.vnic_id)
+        frontend = handle.frontends.pop(location, None)
+        if frontend is None:
+            return
+        if location in handle.selector.locations:
+            handle.selector.remove(location)
+        agent = self.agent_for(frontend.vswitch)
+        if agent.frontends.get(handle.vnic.vnic_id) is frontend:
+            agent.unregister_frontend(handle.vnic.vnic_id)

@@ -33,7 +33,8 @@ from repro.experiments.parallel import default_jobs, sweep
 
 FAST_EXPERIMENTS = ["fig3", "fig4", "table1", "table3", "table4", "table5",
                     "fig13", "fig15", "tablea1", "figa1", "appb2"]
-SLOW_EXPERIMENTS = ["fig2", "fig9", "fig10", "fig11", "fig12", "fig14"]
+SLOW_EXPERIMENTS = ["fig2", "fig9", "fig10", "fig11", "fig12", "fig14",
+                    "chaos"]
 ALL_EXPERIMENTS = FAST_EXPERIMENTS + SLOW_EXPERIMENTS
 
 

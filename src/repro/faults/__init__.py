@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the Nezha control plane.
+
+``repro.faults`` breaks the system on purpose: scripted
+(:class:`FaultPlan`) or seeded-random (:class:`FaultFuzzer`) schedules of
+vSwitch crashes, link flaps, monitor partitions, control-RPC sabotage,
+learner pull loss, and controller kills, applied by a
+:class:`FaultInjector` and judged by the invariant checkers in
+:mod:`repro.faults.invariants`.
+"""
+
+from repro.faults.events import RPC_MODES, FaultEvent, FaultKind
+from repro.faults.plan import FaultPlan
+from repro.faults.fuzzer import FaultFuzzer, FuzzDurations, FuzzRates
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    check_gateway_convergence,
+    check_handles,
+    check_learner_convergence,
+    check_no_stranded_sessions,
+    check_packet_conservation,
+    check_quiesced,
+    check_runtime,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "RPC_MODES",
+    "FaultPlan",
+    "FaultFuzzer",
+    "FuzzRates",
+    "FuzzDurations",
+    "FaultInjector",
+    "check_handles",
+    "check_no_stranded_sessions",
+    "check_packet_conservation",
+    "check_gateway_convergence",
+    "check_learner_convergence",
+    "check_quiesced",
+    "check_runtime",
+]

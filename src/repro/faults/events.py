@@ -1,0 +1,58 @@
+"""Fault vocabulary: what the injection layer knows how to break.
+
+Every fault is a :class:`FaultEvent` — a point in virtual time, a kind, an
+optional named target, and a duration after which the injector heals the
+fault again (crashes recover, links come back up, storm windows close).
+Events are plain frozen data so plans are trivially serializable,
+comparable, and — given the same seed — reproducible run over run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector can drive."""
+
+    CRASH_VSWITCH = "crash_vswitch"          # FE or BE vSwitch dies + recovers
+    LINK_FLAP = "link_flap"                  # a server's fabric links bounce
+    PARTITION_MONITOR = "partition_monitor"  # monitor cut off from targets
+    RPC_STORM = "rpc_storm"                  # control RPCs drop/delay/duplicate
+    LEARNER_DROP = "learner_drop"            # gateway learner pulls lost
+    KILL_CONTROLLER = "kill_controller"      # reconcile loop killed mid-flight
+
+
+#: RPC storm sub-modes carried in ``FaultEvent.mode``.
+RPC_MODES = ("drop", "delay", "dup")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: when, what, against whom, for how long."""
+
+    at: float
+    kind: FaultKind
+    target: Optional[str] = None   # vSwitch/server name where applicable
+    duration: float = 0.0          # heal after this long (0 = instantaneous)
+    mode: Optional[str] = None     # RPC_STORM: drop | delay | dup
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault at negative time {self.at}")
+        if self.duration < 0:
+            raise ValueError(f"negative fault duration {self.duration}")
+        if self.kind is FaultKind.RPC_STORM and self.mode not in RPC_MODES:
+            raise ValueError(f"RPC storm needs a mode in {RPC_MODES}")
+
+    def describe(self) -> str:
+        parts = [f"t={self.at:.3f}", self.kind.value]
+        if self.mode:
+            parts.append(self.mode)
+        if self.target:
+            parts.append(self.target)
+        if self.duration:
+            parts.append(f"for {self.duration:.3f}s")
+        return " ".join(parts)

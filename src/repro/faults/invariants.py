@@ -1,0 +1,185 @@
+"""System invariants checked during and after chaos.
+
+Two strictness levels:
+
+* **runtime** checks hold at *every* event boundary, however much carnage
+  is in flight: no orphaned FE instances, handle/selector consistency, no
+  session entries stranded on dead FEs past failover, and packet counts
+  that never exceed what was sent.
+* **quiesced** checks hold only once faults are healed and the system has
+  settled: gateway entries converge to the serving locations, learner
+  tables match the gateway (including deletions), no handle references a
+  crashed vSwitch, and packet conservation is *exact* —
+  ``delivered + dropped + in-flight == sent`` with in-flight drained to 0.
+
+Checkers return human-readable violation strings (empty list = healthy)
+so the chaos soak can both assert emptiness and print what broke.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.offload import NezhaOrchestrator, OffloadState
+from repro.vswitch.rule_tables import Location
+from repro.vswitch.session_table import EntryMode
+
+
+def check_handles(orchestrator: NezhaOrchestrator) -> List[str]:
+    """Orphan-FE and handle-consistency invariants (runtime-safe)."""
+    out: List[str] = []
+    handles = orchestrator.handles
+    for agent in orchestrator.agents.values():
+        for vnic_id, frontend in agent.frontends.items():
+            if getattr(frontend, "retiring", False):
+                continue  # graceful retirement grace period
+            handle = handles.get(vnic_id)
+            if handle is None:
+                out.append(f"orphan FE: vNIC {vnic_id} on "
+                           f"{agent.vswitch.name} has no live handle")
+            elif frontend not in handle.frontends.values():
+                out.append(f"orphan FE: vNIC {vnic_id} instance on "
+                           f"{agent.vswitch.name} not in its handle's FE set")
+    for vnic_id, handle in handles.items():
+        if handle.state is OffloadState.INACTIVE:
+            out.append(f"handle {vnic_id} is INACTIVE but still registered")
+        for location, frontend in handle.frontends.items():
+            agent = orchestrator.agents.get(frontend.vswitch.name)
+            if agent is None or agent.frontends.get(vnic_id) is not frontend:
+                out.append(f"handle {vnic_id}: FE at {location} not "
+                           f"registered on {frontend.vswitch.name}")
+        if set(handle.selector.locations) != set(handle.frontends):
+            out.append(f"handle {vnic_id}: selector/FE-set mismatch "
+                       f"({len(handle.selector.locations)} vs "
+                       f"{len(handle.frontends)})")
+    return out
+
+
+def check_no_stranded_sessions(orchestrator: NezhaOrchestrator,
+                               vswitches: Sequence) -> List[str]:
+    """A dead FE whose failover already ran must hold no cached flows for
+    the vNICs it fronted (runtime-safe: a crash *pending* detection still
+    has its FE registered, so it is exempt until ``fail_fe`` fires)."""
+    out: List[str] = []
+    for vswitch in vswitches:
+        if not vswitch.crashed:
+            continue
+        agent = orchestrator.agents.get(vswitch.name)
+        live_vnis = ({fe.vnic.vni for fe in agent.frontends.values()}
+                     if agent is not None else set())
+        for entry in vswitch.session_table:
+            if (entry.mode is EntryMode.FLOWS_ONLY
+                    and entry.vni not in live_vnis):
+                out.append(f"stranded FLOWS_ONLY entry for vni {entry.vni} "
+                           f"on dead {vswitch.name}")
+                break
+    return out
+
+
+def check_packet_conservation(topo, quiesced: bool = False) -> List[str]:
+    """Fabric-level conservation: every packet a server sent was received
+    by a server, dropped at a down link, or dropped in a switch — or is
+    still in flight. Quiesced (traffic stopped, queues drained) the
+    in-flight term is zero and the equality is exact."""
+    sent = sum(server.tx_packets for server in topo.servers)
+    received = sum(server.rx_packets for server in topo.servers)
+    link_drops = sum(link.drops_down for link in topo.links)
+    switch_drops = sum(switch.no_route_drops + switch.ttl_drops
+                       for switch in topo.tors + topo.spines)
+    accounted = received + link_drops + switch_drops
+    if quiesced and accounted != sent:
+        return [f"packet conservation: sent={sent} != received={received} "
+                f"+ link_drops={link_drops} + switch_drops={switch_drops} "
+                f"(in-flight must be 0 after drain)"]
+    if not quiesced and accounted > sent:
+        return [f"packet conservation: accounted={accounted} exceeds "
+                f"sent={sent}"]
+    return []
+
+
+def check_gateway_convergence(orchestrator: NezhaOrchestrator, gateway,
+                              vnics: Sequence) -> List[str]:
+    """Quiesced: every vNIC's gateway entry points at its real serving
+    locations — the FE set when offloaded, the hosting BE otherwise — and
+    none of those locations sits on a crashed vSwitch."""
+    out: List[str] = []
+    for handle in orchestrator.handles.values():
+        vnic = handle.vnic
+        if handle.state not in (OffloadState.ACTIVE,
+                                OffloadState.DUAL_RUNNING):
+            continue
+        entry = gateway.lookup(vnic.vni, vnic.tenant_ip)
+        if entry is None:
+            out.append(f"gateway: no entry for offloaded vNIC {vnic.vnic_id}")
+            continue
+        if set(entry.locations) != set(handle.fe_locations):
+            out.append(f"gateway: vNIC {vnic.vnic_id} entry has "
+                       f"{len(entry.locations)} locations, handle has "
+                       f"{len(handle.fe_locations)} FEs")
+        for fe_vswitch in handle.fe_vswitches:
+            if fe_vswitch.crashed:
+                out.append(f"handle {vnic.vnic_id}: FE on crashed "
+                           f"{fe_vswitch.name} survived failover")
+    for vnic in vnics:
+        if vnic.vnic_id in orchestrator.handles or vnic.host is None:
+            continue
+        entry = gateway.lookup(vnic.vni, vnic.tenant_ip)
+        if entry is None:
+            continue
+        home = Location(vnic.host.server.underlay_ip, vnic.host.server.mac)
+        if entry.locations != [home]:
+            out.append(f"gateway: local vNIC {vnic.vnic_id} entry does not "
+                       f"point at its host {vnic.host.name}")
+    return out
+
+
+def check_learner_convergence(gateway) -> List[str]:
+    """Quiesced: every learner's mapping tables mirror the gateway for the
+    VNIs it serves — same keys (deletions included), same versions."""
+    from repro.vswitch.rule_tables import MappingTable
+
+    out: List[str] = []
+    for learner in gateway.learners:
+        if learner.vswitch.crashed:
+            out.append(f"learner {learner.vswitch.name}: vSwitch still "
+                       f"crashed at quiesce")
+            continue
+        for vnic in learner.vswitch.vnics.values():
+            table = vnic.slow_path.table("vnic_server_mapping")
+            if not isinstance(table, MappingTable):
+                continue
+            expected = gateway.snapshot(vnic.vni)
+            held = {key: entry for key, entry in table.entries().items()
+                    if key[0] == vnic.vni}
+            missing = set(expected) - set(held)
+            stale = set(held) - set(expected)
+            if missing:
+                out.append(f"learner {learner.vswitch.name}: "
+                           f"{len(missing)} gateway entries never learned")
+            if stale:
+                out.append(f"learner {learner.vswitch.name}: "
+                           f"{len(stale)} removed entries still present")
+            for key in set(expected) & set(held):
+                if held[key].version != expected[key].version:
+                    out.append(f"learner {learner.vswitch.name}: stale "
+                               f"version for {key}")
+                    break
+    return out
+
+
+def check_runtime(orchestrator: NezhaOrchestrator, vswitches: Sequence,
+                  topo) -> List[str]:
+    """Everything that must hold at every fault-event boundary."""
+    return (check_handles(orchestrator)
+            + check_no_stranded_sessions(orchestrator, vswitches)
+            + check_packet_conservation(topo, quiesced=False))
+
+
+def check_quiesced(orchestrator: NezhaOrchestrator, gateway,
+                   vswitches: Sequence, vnics: Sequence, topo) -> List[str]:
+    """Everything that must hold once faults healed and traffic drained."""
+    return (check_handles(orchestrator)
+            + check_no_stranded_sessions(orchestrator, vswitches)
+            + check_gateway_convergence(orchestrator, gateway, vnics)
+            + check_learner_convergence(gateway)
+            + check_packet_conservation(topo, quiesced=True))

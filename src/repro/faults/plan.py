@@ -1,0 +1,57 @@
+"""Scripted fault plans: an ordered event list bound to an injector.
+
+A :class:`FaultPlan` is just data until :meth:`schedule` hands every event
+to a :class:`~repro.faults.injector.FaultInjector` via ``engine.call_at``
+— the same plan replays identically against any compatible environment,
+which is what makes chaos findings reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import ConfigError
+from repro.faults.events import FaultEvent, FaultKind
+
+
+class FaultPlan:
+    """An ordered, replayable schedule of fault events."""
+
+    def __init__(self, events: Optional[Iterable[FaultEvent]] = None) -> None:
+        self.events: List[FaultEvent] = sorted(events or [],
+                                               key=lambda e: e.at)
+        self._scheduled = False
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """When the last fault (including its heal) is over."""
+        return max((e.at + e.duration for e in self.events), default=0.0)
+
+    def count(self, kind: FaultKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def kinds(self) -> List[FaultKind]:
+        return sorted({e.kind for e in self.events}, key=lambda k: k.value)
+
+    def schedule(self, injector) -> None:
+        """Queue every event on the injector's engine. One-shot: plans are
+        immutable once armed so replays stay byte-for-byte identical."""
+        if self._scheduled:
+            raise ConfigError("fault plan already scheduled")
+        self._scheduled = True
+        for event in self.events:
+            injector.engine.call_at(event.at, injector.apply, event)
+
+    def describe(self) -> str:
+        return "\n".join(event.describe() for event in self.events)

@@ -120,7 +120,7 @@ class Process:
     """
 
     __slots__ = ("engine", "gen", "name", "_done", "_value", "_exc",
-                 "_completion", "_interrupts")
+                 "_completion", "_interrupts", "_begun")
 
     def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
         self.engine = engine
@@ -131,6 +131,7 @@ class Process:
         self._exc: Optional[BaseException] = None
         self._completion = Event(engine, name=f"{self.name}.done")
         self._interrupts: List[Interrupt] = []
+        self._begun = False
         engine.call_soon(self._resume, None, None)
 
     # -- public API ---------------------------------------------------------
@@ -167,11 +168,19 @@ class Process:
         try:
             if self._interrupts:
                 intr = self._interrupts.pop(0)
+                if not self._begun:
+                    # Interrupted before the generator ever ran: throwing
+                    # would raise at its first line, outside any try block.
+                    # Treat it as a clean cancellation instead.
+                    self.gen.close()
+                    self._finish(None, None)
+                    return
                 target = self.gen.throw(intr)
             elif exc is not None:
                 target = self.gen.throw(exc)
             else:
                 target = self.gen.send(value)
+            self._begun = True
         except StopIteration as stop:
             self._finish(getattr(stop, "value", None), None)
             return

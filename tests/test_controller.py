@@ -312,3 +312,75 @@ def test_watch_links_removes_unreachable_fe():
     assert len(handle.frontends) == 4
     for ping in pingers:
         ping.stop()
+
+
+# -- regression: failover-path bugfix sweep ---------------------------------------
+
+
+def test_monitor_remove_target_purges_outstanding_seq():
+    """An in-flight probe's seq mapping must die with its target: before
+    the fix ``remove_target`` left the entry in ``_seq_to_target``, where
+    it leaked forever if the reply never came (crashed target — the
+    common removal reason)."""
+    engine, vswitches, monitor = monitor_setup()
+    monitor._sweep()  # probes sent, seqs outstanding; replies not yet run
+    state = monitor.targets[vswitches[0].server.name]
+    seq = state.outstanding_seq
+    assert seq is not None and seq in monitor._seq_to_target
+    monitor.remove_target(vswitches[0].server)
+    assert seq not in monitor._seq_to_target
+    assert vswitches[0].server.name not in monitor.targets
+
+
+def test_reset_suspension_reports_targets_that_died_meanwhile():
+    """Targets that genuinely died while removal was suspended must be
+    reported when the operator resets the suspension — before the fix
+    they were never reported: each later sweep re-entered the
+    mass-failure branch and re-suspended first."""
+    engine, vswitches, monitor = monitor_setup(n_targets=6)
+    down = []
+    monitor.on_down = down.append
+    monitor.start()
+    for vs in vswitches[:5]:
+        engine.call_at(0.5, vs.crash)
+    engine.run(until=3.0)
+    assert monitor.suspended and down == []
+    monitor.reset_suspension()
+    assert (sorted(server.name for server in down)
+            == sorted(vs.server.name for vs in vswitches[:5]))
+
+
+def test_gateway_remove_propagates_deletion_to_learners():
+    """A removed gateway entry must leave learner tables on the next
+    refresh — before the fix ``refresh`` only copied live entries, so
+    vSwitches forwarded to the deleted location forever."""
+    env = build_nezha_env(start_learners=False)
+    table = env.vnic_a.slow_path.table("vnic_server_mapping")
+    assert table.lookup(VNI, TENANT_B) is not None  # primed at build time
+    env.gateway.remove(VNI, TENANT_B)
+    env.learners[0].refresh()
+    assert table.lookup(VNI, TENANT_B) is None
+
+
+def test_controller_does_not_double_scale_inflight_vnic():
+    """Two shortfall signals for the same vNIC in one tick must trigger
+    one scale-out flow: before the per-vNIC in-flight tracking the
+    second signal started a second flow for the same handle while the
+    first's FEs were not yet visible, serially over-scaling the vNIC."""
+    env, controller = controller_env()
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:4])
+    env.engine.run(until=2.0)
+    assert handle.state is OffloadState.ACTIVE
+    calls = []
+    orig = env.orchestrator.scale_out
+
+    def spy(h, fes):
+        calls.append([vs.name for vs in fes])
+        return orig(h, fes)
+
+    env.orchestrator.scale_out = spy
+    controller._on_need_fes(handle, 1)
+    controller._on_need_fes(handle, 1)  # same tick: flow still in flight
+    assert len(calls) == 1
+    env.engine.run(until=env.engine.now + 2.0)
+    assert len(handle.frontends) == 5

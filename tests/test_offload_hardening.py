@@ -1,0 +1,138 @@
+"""Control-plane hardening: RPC retry/backoff/abort behaviour and the
+failover-vs-fallback races in the orchestrator."""
+
+from repro.core.offload import OffloadState
+from repro.vswitch.rule_tables import Location
+
+from tests.conftest import VNI, build_nezha_env
+
+
+def _be_location(handle):
+    return Location(handle.be_vswitch.server.underlay_ip,
+                    handle.be_vswitch.server.mac)
+
+
+# -- RPC retry / backoff / abort ---------------------------------------------
+
+def test_rpc_drop_retries_and_recovers():
+    env = build_nezha_env()
+    dropped = []
+
+    def hook(stage, attempt):
+        if stage == "offload.configure_fes" and attempt < 2:
+            dropped.append(attempt)
+            return "drop"
+        return None
+
+    env.orchestrator.rpc_fault_hook = hook
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:2])
+    env.engine.run(until=5.0)
+    assert dropped == [0, 1]
+    assert handle.state is OffloadState.ACTIVE
+    assert not handle.failed
+    assert env.orchestrator.rpc_drops == 2
+    assert env.orchestrator.rpc_retries_recovered >= 1
+    assert env.orchestrator.rpc_giveups == 0
+
+
+def test_rpc_giveup_aborts_offload_cleanly():
+    env = build_nezha_env()
+    env.orchestrator.rpc_fault_hook = (
+        lambda stage, attempt:
+        "drop" if stage == "offload.install_be" else None)
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:2])
+    env.engine.run(until=10.0)
+    # All 4 attempts of stage 2 dropped: the flow rolls back instead of
+    # wedging with FEs configured but no BE datapath.
+    assert handle.failed
+    assert handle.state is OffloadState.INACTIVE
+    assert handle.frontends == {}
+    assert env.orchestrator.handles == {}
+    assert env.orchestrator.aborted_offloads == 1
+    assert env.orchestrator.rpc_giveups == 1
+    assert not env.vnic_b.offloaded
+    # Waiters were released, not crashed.
+    assert handle.completion.fired
+    # No FE agent still holds an instance for the vNIC.
+    for agent in env.orchestrator.agents.values():
+        assert env.vnic_b.vnic_id not in agent.frontends
+
+
+def test_rpc_duplicate_delivery_is_idempotent():
+    env = build_nezha_env()
+    env.orchestrator.rpc_fault_hook = lambda stage, attempt: "dup"
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:2])
+    env.engine.run(until=5.0)
+    # Every stage delivered twice: each mutation must apply once.
+    assert handle.state is OffloadState.ACTIVE
+    assert len(handle.frontends) == 2
+    be_agent = env.orchestrator.agents[env.vswitch_b.name]
+    assert be_agent.backends[env.vnic_b.vnic_id] is handle.backend
+    entry = env.gateway.lookup(VNI, env.vnic_b.tenant_ip)
+    assert set(entry.locations) == set(handle.fe_locations)
+
+
+# -- failover racing fallback ------------------------------------------------
+
+def _active_handle(env, n_fes=4):
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:n_fes])
+    env.engine.run(until=5.0)
+    assert handle.state is OffloadState.ACTIVE
+    return handle
+
+
+def test_fail_fe_during_fallback_requests_no_replacements():
+    """An FE crash while the handle is FALLING_BACK must not request
+    replacement FEs — they would outlive the fallback as orphans."""
+    env = build_nezha_env(n_servers=8)
+    handle = _active_handle(env)
+    requests = []
+    env.orchestrator.need_fe_callback = (
+        lambda h, shortfall: requests.append(shortfall))
+    done = env.orchestrator.fallback(handle)
+    # Same tick, fallback still in flight: one FE host dies.
+    env.orchestrator.fail_fe(handle.fe_vswitches[0])
+    assert requests == []
+    env.engine.run(until=env.engine.now + 5.0)
+    assert done.fired
+    assert handle.state is OffloadState.INACTIVE
+    assert env.orchestrator.handles == {}
+    assert not env.vnic_b.offloaded
+    for agent in env.orchestrator.agents.values():
+        assert env.vnic_b.vnic_id not in agent.frontends
+    entry = env.gateway.lookup(VNI, env.vnic_b.tenant_ip)
+    assert entry.locations == [_be_location(handle)]
+
+
+def test_scale_in_during_fallback_requests_no_replacements():
+    """Graceful scale-in racing a fallback: same rule — no replacement
+    requests for a handle on its way out."""
+    env = build_nezha_env(n_servers=8)
+    handle = _active_handle(env)
+    requests = []
+    env.orchestrator.need_fe_callback = (
+        lambda h, shortfall: requests.append(shortfall))
+    env.orchestrator.fallback(handle)
+    removed = env.orchestrator.scale_in_vswitch(handle.fe_vswitches[0])
+    assert removed == 1
+    assert requests == []
+    env.engine.run(until=env.engine.now + 5.0)
+    assert handle.state is OffloadState.INACTIVE
+    assert env.orchestrator.handles == {}
+
+
+def test_scale_out_completing_after_fallback_is_noop():
+    """A scale-out flow that lands after its handle fell back must not
+    resurrect FEs for the retired handle."""
+    env = build_nezha_env(n_servers=8)
+    handle = _active_handle(env, n_fes=2)
+    new_fe = env.idle_vswitches[2]
+    env.orchestrator.scale_out(handle, [new_fe])
+    env.orchestrator.fallback(handle)
+    env.engine.run(until=env.engine.now + 5.0)
+    assert handle.state is OffloadState.INACTIVE
+    assert env.orchestrator.handles == {}
+    agent = env.orchestrator.agents.get(new_fe.name)
+    assert agent is None or env.vnic_b.vnic_id not in agent.frontends
+    for agent in env.orchestrator.agents.values():
+        assert env.vnic_b.vnic_id not in agent.frontends

@@ -119,7 +119,12 @@ def print_macro_table(results: dict) -> None:
 
 def run_experiments_mode(args) -> int:
     jobs = args.jobs or (os.cpu_count() or 1)
-    results = run_macro(jobs=jobs, profile=args.profile)
+    names = args.only.split(",") if args.only else None
+    results = run_macro(jobs=jobs, profile=args.profile, names=names)
+    if names and not results:
+        print(f"error: --only matched no macro bench "
+              f"(got {args.only!r})", file=sys.stderr)
+        return 2
     print_macro_table(results)
 
     broken = [name for name, entry in results.items()
@@ -129,6 +134,15 @@ def run_experiments_mode(args) -> int:
               f"{', '.join(broken)}", file=sys.stderr)
         return 1
 
+    output = args.output if args.output != DEFAULT_OUTPUT \
+        else DEFAULT_MACRO_OUTPUT
+    experiments = results
+    if names and output.exists():
+        # Partial run: refresh only the selected entries, keep the rest
+        # of the committed file intact.
+        previous = json.loads(output.read_text())
+        experiments = previous.get("experiments", {})
+        experiments.update(results)
     doc = {
         "schema": MACRO_SCHEMA,
         "config": {
@@ -139,10 +153,8 @@ def run_experiments_mode(args) -> int:
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
         },
-        "experiments": results,
+        "experiments": experiments,
     }
-    output = args.output if args.output != DEFAULT_OUTPUT \
-        else DEFAULT_MACRO_OUTPUT
     output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     return 0
@@ -163,6 +175,10 @@ def main(argv=None) -> int:
                         default="quick",
                         help="parameter scale for --experiments "
                              "(default: %(default)s)")
+    parser.add_argument("--only", metavar="NAME[,NAME...]", default=None,
+                        help="with --experiments: run only these macro "
+                             "benches and merge them into the existing "
+                             "JSON instead of rewriting it")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="baseline JSON path (default: "
                              "BENCH_fastpath.json, or "

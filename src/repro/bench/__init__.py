@@ -16,8 +16,8 @@ the pytest benches measure the same thing.
 from repro.bench.micro import (BENCHES, MicroBench, calibration_loop,
                                run_bench, run_all)
 from repro.bench.macro import (MACRO_BENCHES, MacroBench, run_macro,
-                               run_macro_bench)
+                               run_macro_bench, run_telemetry_overhead)
 
 __all__ = ["BENCHES", "MicroBench", "calibration_loop", "run_bench",
            "run_all", "MACRO_BENCHES", "MacroBench", "run_macro",
-           "run_macro_bench"]
+           "run_macro_bench", "run_telemetry_overhead"]

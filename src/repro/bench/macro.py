@@ -126,6 +126,65 @@ def run_all_fast(jobs: int, seed: int = 0) -> Dict[str, object]:
     }
 
 
+def run_telemetry_overhead(profile: str = "quick",
+                           repeats: int = 3) -> Dict[str, object]:
+    """fig9 wall clock with the telemetry stack installed vs not.
+
+    Checks the telemetry layer's two performance contracts:
+
+    * **tracing-off cost** — with nothing installed every hook is a
+      single attribute/module-flag check, so ``off_s`` must stay within
+      a few percent of the committed baseline. Raw seconds are
+      machine-dependent, so the tracked number is ``normalized_off``:
+      seconds times the same pure-python calibration loop the micro
+      smoke gate uses (a machine-independent "calibration ops' worth of
+      work" figure);
+    * **observation purity** — the telemetry-on run must render a
+      byte-identical result table (``identical_output``); recording
+      never perturbs the simulation.
+
+    Both runs use best-of-``repeats`` to suppress scheduler noise.
+    """
+    import importlib
+
+    from repro import telemetry
+    from repro.bench.micro import _ops_per_sec, calibration_loop
+
+    bench = next(b for b in MACRO_BENCHES if b.name == "fig9")
+    module = importlib.import_module(f"repro.experiments.{bench.module}")
+    kwargs = bench.kwargs(profile)
+
+    def run_once(with_telemetry: bool) -> Tuple[object, float]:
+        if with_telemetry:
+            telemetry.install(profile=True)
+        try:
+            return _timed(lambda: module.run(jobs=1, **kwargs))
+        finally:
+            if with_telemetry:
+                telemetry.uninstall()
+
+    off_result, off_s = run_once(False)
+    on_result, on_s = run_once(True)
+    for _ in range(max(0, repeats - 1)):
+        _ignored, elapsed = run_once(False)
+        off_s = min(off_s, elapsed)
+        _ignored, elapsed = run_once(True)
+        on_s = min(on_s, elapsed)
+    calibration = _ops_per_sec(calibration_loop, 10_000, 0.1)
+    return {
+        "description": "fig9 (quick) wall clock, telemetry installed vs not",
+        "bench": bench.name,
+        "profile": profile,
+        "repeats": repeats,
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        "overhead_ratio": round(on_s / off_s, 4) if off_s else None,
+        "normalized_off": round(off_s * calibration, 1),
+        "calibration_ops_per_sec": round(calibration, 1),
+        "identical_output": off_result.to_text() == on_result.to_text(),
+    }
+
+
 def run_macro(jobs: Optional[int] = None, profile: str = "quick",
               include_all_fast: bool = True,
               names: Optional[List[str]] = None) -> Dict[str, Dict]:

@@ -29,6 +29,7 @@ from repro.fabric.device import ServerNode
 from repro.sim.engine import Engine, Interrupt
 from repro.sim.rng import SeededRng
 from repro.sim.trace import Trace
+from repro import telemetry as _telemetry
 from repro.vswitch.vnic import Vnic
 from repro.vswitch.vswitch import VSwitch
 from repro.controller.gateway import Gateway, MappingLearner
@@ -77,7 +78,8 @@ class NezhaController:
         self.placement = placement
         self.config = config or ControllerConfig()
         self.monitor = monitor
-        self.trace = trace or Trace(lambda: engine.now)
+        self.trace = trace or _telemetry.active_trace(engine) \
+            or Trace(lambda: engine.now)
         self.rng = rng or SeededRng(0, "controller")
         self.nodes: Dict[str, _NodeBook] = {}
         self._fallback_idle_polls: Dict[int, int] = {}
@@ -98,6 +100,18 @@ class NezhaController:
         if monitor is not None:
             monitor.on_down = self._on_target_down
             monitor.on_up = self._on_target_up
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.register_controller(self)
+
+    def _decide(self, action: str, **fields) -> None:
+        """One controller decision: traced, and — when telemetry is
+        installed — appended to the ``controller.decisions`` event log
+        with the *why* (the fields) attached."""
+        self.trace.emit(f"controller.{action}", **fields)
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.decision(self.engine.now, action, **fields)
 
     # -- registration ------------------------------------------------------------
 
@@ -170,8 +184,8 @@ class NezhaController:
 
     def _degraded(self, step: str, target: str, err: Exception) -> None:
         self.reconcile_errors += 1
-        self.trace.emit("controller.reconcile_error", step=step,
-                        target=target, error=str(err))
+        self._decide("reconcile_error", step=step,
+                     target=target, error=str(err))
 
     def _track_flow(self, vnic_id: int, done) -> None:
         """Mark ``vnic_id`` in-flight until ``done`` fires (however the
@@ -209,8 +223,7 @@ class NezhaController:
                     self.gateway.set_locations(handle.vnic.vni,
                                                handle.vnic.tenant_ip,
                                                handle.fe_locations)
-                    self.trace.emit("controller.gateway_resync",
-                                    vnic=vnic_id)
+                    self._decide("gateway_resync", vnic=vnic_id)
 
     # -- per-vNIC telemetry -------------------------------------------------------------
 
@@ -246,14 +259,15 @@ class NezhaController:
                 break
             fes = self.placement.select(vswitch, self.config.initial_fes)
             if not fes:
-                self.trace.emit("controller.no_fes", vnic=vnic.vnic_id)
+                self._decide("no_fes", vnic=vnic.vnic_id)
                 return
             handle = self.orchestrator.offload(vnic, fes)
             self._track_flow(vnic.vnic_id, handle.completion)
             self.offloads_triggered += 1
-            self.trace.emit("controller.offload", vnic=vnic.vnic_id,
-                            vswitch=vswitch.name, by_memory=by_memory,
-                            fes=len(fes))
+            self._decide("offload", vnic=vnic.vnic_id,
+                         vswitch=vswitch.name, by_memory=by_memory,
+                         fes=len(fes),
+                         utilization=round(utilization, 4))
             if self.monitor is not None:
                 for fe in fes:
                     self.monitor.add_target(fe.server)
@@ -285,16 +299,18 @@ class NezhaController:
                     done = self.orchestrator.scale_out(handle, new_fes)
                     self._track_flow(vnic_id, done)
                     self.scale_outs += 1
-                    self.trace.emit("controller.scale_out",
-                                    vnic=vnic_id, fe=new_fes[0].name)
+                    self._decide("scale_out", vnic=vnic_id,
+                                 fe=new_fes[0].name, cpu=round(cpu, 4),
+                                 remote_share=round(remote_share, 4))
         else:
             # Local traffic needs the resources: evict every hosted FE.
             self.placement.exclude(vswitch)
             removed = self.orchestrator.scale_in_vswitch(vswitch)
             if removed:
                 self.scale_ins += 1
-                self.trace.emit("controller.scale_in",
-                                vswitch=vswitch.name, removed=removed)
+                self._decide("scale_in", vswitch=vswitch.name,
+                             removed=removed, cpu=round(cpu, 4),
+                             remote_share=round(remote_share, 4))
 
     # -- fallback --------------------------------------------------------------------------------
 
@@ -322,7 +338,9 @@ class NezhaController:
                 self.orchestrator.fallback(handle)
                 self.fallbacks += 1
                 self._fallback_idle_polls.pop(vnic_id, None)
-                self.trace.emit("controller.fallback", vnic=vnic_id)
+                self._decide("fallback", vnic=vnic_id,
+                             fe_usage=round(fe_usage, 4),
+                             projected=round(projected, 4))
 
     # -- BE↔FE link watching (Appendix C.1) ---------------------------------------------------------
 
@@ -341,8 +359,8 @@ class NezhaController:
                               interval=interval)
 
             def on_unreachable(fe=fe_vswitch, p=None):
-                self.trace.emit("controller.link_failover",
-                                fe=fe.name, be=handle.be_vswitch.name)
+                self._decide("link_failover",
+                             fe=fe.name, be=handle.be_vswitch.name)
                 self.placement.exclude(fe)
                 self.orchestrator.fail_fe(fe)
 
@@ -367,7 +385,7 @@ class NezhaController:
         if vswitch is None:
             return
         self.failovers += 1
-        self.trace.emit("controller.failover", vswitch=vswitch.name)
+        self._decide("failover", vswitch=vswitch.name)
         self.placement.exclude(vswitch)
         try:
             self.orchestrator.fail_fe(vswitch)
@@ -384,7 +402,7 @@ class NezhaController:
         if vswitch is None or vswitch.crashed:
             return
         self.placement.readmit(vswitch)
-        self.trace.emit("controller.readmit", vswitch=vswitch.name)
+        self._decide("readmit", vswitch=vswitch.name)
 
     def _on_need_fes(self, handle: OffloadHandle, shortfall: int) -> None:
         if handle.vnic.vnic_id in self._inflight_vnics:

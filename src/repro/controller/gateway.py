@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.net.addr import IPv4Address
 from repro.sim.engine import Engine
 from repro.sim.rng import SeededRng
+from repro import telemetry as _telemetry
 from repro.vswitch.rule_tables import Location, MappingEntry, MappingTable
 from repro.vswitch.vswitch import VSwitch
 
@@ -31,6 +32,9 @@ class Gateway:
         self._removed: Dict[Tuple[int, int], int] = {}
         self._version = 0
         self.learners: List["MappingLearner"] = []
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.register_gateway(self)
 
     # -- mutation ------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from repro.net.ipv4 import IPv4Header
 from repro.net.packet import Packet
 from repro.sim.engine import Engine
 from repro.sim.trace import Trace
+from repro import telemetry as _telemetry
 from repro.vswitch.vswitch import PROBE_PORT
 
 
@@ -52,7 +53,8 @@ class HealthMonitor:
         self.interval = interval
         self.miss_threshold = miss_threshold
         self.suspend_fraction = suspend_fraction
-        self.trace = trace or Trace(lambda: engine.now)
+        self.trace = trace or _telemetry.active_trace(engine) \
+            or Trace(lambda: engine.now)
         self.targets: Dict[str, TargetState] = {}
         self._seq = 0
         self._seq_to_target: Dict[int, str] = {}
@@ -61,6 +63,9 @@ class HealthMonitor:
         self.suspended = False          # Appendix C.2 manual-intervention flag
         self._started = False
         monitor_server.attach_sink(self._on_packet)
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.register_monitor(self)
 
     # -- target management ---------------------------------------------------
 

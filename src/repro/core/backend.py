@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.errors import TableFull
 from repro.net.packet import Packet
+from repro.telemetry import spans as _spans
 from repro.net.tcp import TcpHeader
 from repro.vswitch.actions import Direction, process_pkt
 from repro.vswitch.rule_tables import LookupContext
@@ -128,6 +129,8 @@ class BackendInstance(Datapath):
                     self._pkt_counter % len(self.selector.locations)]
             else:
                 fe = self.selector.pick(ft)
+            if _spans.ACTIVE:
+                _spans.hop(packet, "be_tx", vs.engine.now)
             meta = NezhaMeta(kind=KIND_TX, vnic_id=self.vnic.vnic_id,
                              state=state)
             hop = build_nezha_hop(vs.server.underlay_ip, vs.server.mac,
@@ -143,6 +146,8 @@ class BackendInstance(Datapath):
     def handle_from_fe(self, packet: Packet, meta: NezhaMeta) -> None:
         vs = self.vswitch
         cm = vs.cost_model
+        if _spans.ACTIVE:
+            _spans.hop(packet, "be_rx", vs.engine.now)
         pre_actions = meta.pre_actions
         if pre_actions is None:
             self.stats.invalid_meta_drops += 1

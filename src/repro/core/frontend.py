@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.errors import TableFull
 from repro.net.addr import IPv4Address
+from repro.telemetry import spans as _spans
 from repro.net.ipv4 import IPv4Header
 from repro.net.packet import Packet
 from repro.net.vxlan import VxlanHeader
@@ -124,6 +125,8 @@ class FrontendInstance:
     def handle_from_be(self, packet: Packet, meta: NezhaMeta) -> None:
         vs = self.vswitch
         cm = vs.cost_model
+        if _spans.ACTIVE:
+            _spans.hop(packet, "fe_rx", vs.engine.now)
         state = meta.state
         if state is None or not self.active:
             self.stats.inactive_drops += 1
@@ -210,6 +213,8 @@ class FrontendInstance:
 
         def complete():
             self.stats.rx_relayed += 1
+            if _spans.ACTIVE:
+                _spans.hop(packet, "fe_relay", vs.engine.now)
             meta = NezhaMeta(kind=KIND_RX, vnic_id=self.vnic.vnic_id,
                              pre_actions=pre_actions)
             if self.vnic.stateful_decap and overlay_src is not None:

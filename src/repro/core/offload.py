@@ -25,12 +25,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import OffloadError, ResourceExhausted
 from repro.sim.engine import Engine, Event
 from repro.sim.rng import SeededRng
 from repro.sim.trace import Trace
+from repro import telemetry as _telemetry
 from repro.vswitch.rule_tables import Location
 from repro.vswitch.vnic import Vnic
 from repro.vswitch.vswitch import VSwitch
@@ -77,12 +78,23 @@ class OffloadHandle:
         self.selector = selector
         self.frontends: Dict[Location, FrontendInstance] = {}
         self.state = OffloadState.DUAL_RUNNING
+        # Lifecycle history: (virtual time, state name) per transition —
+        # the raw material for post-mortem "when did this vNIC activate".
+        self.transitions: List[Tuple[float, str]] = []
         self.triggered_at = 0.0
         self.completed_at: Optional[float] = None
         self.completion: Optional[Event] = None
         # True when the offload flow gave up and rolled back; ``completion``
         # still fires (successfully) so waiters are released either way.
         self.failed = False
+
+    def set_state(self, state: "OffloadState", now: float) -> None:
+        """Advance the lifecycle, recording the timestamped transition."""
+        self.state = state
+        self.transitions.append((now, state.value))
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.offload_transition(self, state.value, now)
 
     @property
     def fe_locations(self) -> List[Location]:
@@ -114,7 +126,8 @@ class NezhaOrchestrator:
         self.gateway = gateway
         self.rng = rng or SeededRng(0, "orchestrator")
         self.config = config or OffloadConfig()
-        self.trace = trace or Trace(lambda: engine.now)
+        self.trace = trace or _telemetry.active_trace(engine) \
+            or Trace(lambda: engine.now)
         self.agents: Dict[str, NezhaAgent] = {}
         self.handles: Dict[int, OffloadHandle] = {}
         # Invoked when failover leaves a handle short of FEs; the
@@ -200,6 +213,7 @@ class NezhaOrchestrator:
         backend = BackendInstance(be_vswitch, vnic, selector)
         handle = OffloadHandle(vnic, be_vswitch, backend, selector)
         handle.triggered_at = self.engine.now
+        handle.set_state(OffloadState.DUAL_RUNNING, self.engine.now)
         handle.completion = self.engine.event(f"offload-{vnic.vnic_id}")
         self.handles[vnic.vnic_id] = handle
         self.engine.process(self._offload_flow(handle, fe_vswitches),
@@ -253,7 +267,7 @@ class NezhaOrchestrator:
         if not vnic.offloaded:
             handle.be_vswitch.release_vnic_tables(vnic.vnic_id)
         handle.backend.tables_released = True
-        handle.state = OffloadState.ACTIVE
+        handle.set_state(OffloadState.ACTIVE, self.engine.now)
         handle.completed_at = self.engine.now
         self.trace.emit("nezha.offload_complete", vnic=vnic.vnic_id,
                         duration=handle.activation_time,
@@ -300,7 +314,7 @@ class NezhaOrchestrator:
         if entry is not None and entry.locations != [be_location]:
             self.gateway.set_locations(vnic.vni, vnic.tenant_ip,
                                        [be_location])
-        handle.state = OffloadState.INACTIVE
+        handle.set_state(OffloadState.INACTIVE, self.engine.now)
         if self.handles.get(vnic.vnic_id) is handle:
             self.handles.pop(vnic.vnic_id)
         self.trace.emit("nezha.offload_abort", vnic=vnic.vnic_id)
@@ -359,7 +373,7 @@ class NezhaOrchestrator:
         """Return the vNIC to purely local processing."""
         if handle.state is not OffloadState.ACTIVE:
             raise OffloadError(f"cannot fall back from {handle.state}")
-        handle.state = OffloadState.FALLING_BACK
+        handle.set_state(OffloadState.FALLING_BACK, self.engine.now)
         done = self.engine.event(f"fallback-{handle.vnic.vnic_id}")
         self.engine.process(self._fallback_flow(handle, done),
                             name=f"fallback-{handle.vnic.vnic_id}")
@@ -371,7 +385,7 @@ class NezhaOrchestrator:
         # 1. Restore the rule tables locally (dual-running, mirrored).
         deliveries = yield from self._rpc("fallback.restore_tables")
         if deliveries == 0:
-            handle.state = OffloadState.ACTIVE
+            handle.set_state(OffloadState.ACTIVE, self.engine.now)
             done.fail(OffloadError(
                 f"fallback of vNIC {vnic.vnic_id}: BE unreachable"))
             return
@@ -379,7 +393,7 @@ class NezhaOrchestrator:
             if vnic.offloaded:
                 handle.be_vswitch.restore_vnic_tables(vnic.vnic_id)
         except ResourceExhausted:
-            handle.state = OffloadState.ACTIVE
+            handle.set_state(OffloadState.ACTIVE, self.engine.now)
             done.fail(OffloadError(
                 f"BE lacks memory to restore vNIC {vnic.vnic_id} tables"))
             return
@@ -392,7 +406,7 @@ class NezhaOrchestrator:
             # tables while remote senders still target the FEs.
             handle.be_vswitch.release_vnic_tables(vnic.vnic_id)
             handle.backend.tables_released = True
-            handle.state = OffloadState.ACTIVE
+            handle.set_state(OffloadState.ACTIVE, self.engine.now)
             done.fail(OffloadError(
                 f"fallback of vNIC {vnic.vnic_id}: gateway unreachable"))
             return
@@ -411,7 +425,7 @@ class NezhaOrchestrator:
         be_agent = self.agent_for(handle.be_vswitch)
         if be_agent.backends.get(vnic.vnic_id) is handle.backend:
             be_agent.unregister_backend(vnic.vnic_id)
-        handle.state = OffloadState.INACTIVE
+        handle.set_state(OffloadState.INACTIVE, self.engine.now)
         if self.handles.get(vnic.vnic_id) is handle:
             self.handles.pop(vnic.vnic_id)
         self.trace.emit("nezha.fallback_complete", vnic=vnic.vnic_id)

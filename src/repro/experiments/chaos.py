@@ -199,10 +199,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--settle", type=float, default=DEFAULT_SETTLE)
     parser.add_argument("--min-faults", type=int, default=MIN_FAULTS,
                         help="fail if fewer fault actions were injected")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record telemetry during the soak and export "
+                             "it as JSONL to PATH; the unified trace gives "
+                             "a post-mortem timeline interleaving injected "
+                             "faults with the controller's reactions "
+                             "(inspect with tools/telemetry.py timeline)")
     args = parser.parse_args(argv)
 
-    outcome = run_soak(seed=args.seed, horizon=args.horizon,
-                       settle=args.settle)
+    tel = None
+    if args.telemetry is not None:
+        from repro import telemetry
+        tel = telemetry.install(profile=True)
+    try:
+        outcome = run_soak(seed=args.seed, horizon=args.horizon,
+                           settle=args.settle)
+        if tel is not None:
+            lines = tel.export(args.telemetry)
+            print(f"[telemetry: {lines} lines -> {args.telemetry}]")
+    finally:
+        if tel is not None:
+            from repro import telemetry
+            telemetry.uninstall()
     print(f"chaos soak (seed {outcome['seed']}): {outcome['events']} events, "
           f"{outcome['total_injected']} fault actions injected")
     for key, count in outcome["injected"].items():

@@ -19,6 +19,7 @@ from repro.experiments.testbed import SERVER_IP, build_testbed
 from repro.metrics.percentiles import percentile
 from repro.net.packet import Packet
 from repro.net.tcp import TcpFlags
+from repro.telemetry import spans as _spans
 from repro.workloads import ClosedLoopCrr
 
 PROBE_PORT = 9000
@@ -48,6 +49,10 @@ def _measure(load_concurrency: int, nezha: bool, seed: int,
         testbed.server_vnic, PROBE_PORT,
         lambda pkt: latencies.append(engine.now - pkt.meta["probe_sent"]))
 
+    # Telemetry label: one per (path, load) sweep point, so the recorded
+    # spans aggregate into exactly the rows this experiment reports.
+    span_label = f"{'offloaded' if nezha else 'local'}/load{load_concurrency}"
+
     def probe():
         first = True
         while True:
@@ -56,6 +61,8 @@ def _measure(load_concurrency: int, nezha: bool, seed: int,
                              TcpFlags.of("syn") if first
                              else TcpFlags.of("psh", "ack"))
             pkt.meta["probe_sent"] = engine.now
+            if _spans.ACTIVE:
+                _spans.begin(pkt, span_label, engine.now)
             probe_vm.send(probe_vnic, pkt, new_connection=first)
             first = False
             yield engine.timeout(1.0 / probe_rate)
@@ -63,6 +70,13 @@ def _measure(load_concurrency: int, nezha: bool, seed: int,
     engine.process(probe(), name="probe")
     testbed.run(0.5)          # warm up the load + probe session
     latencies.clear()
+    if _spans.ACTIVE:
+        # Same warmup discard the latency list gets, so the span p50
+        # reproduces this measurement exactly.
+        from repro import telemetry
+        tel = telemetry.current()
+        if tel is not None:
+            tel.spans.clear(span_label)
     testbed.run(duration)
     util = testbed.server_vswitch.cpu_utilization()
     if nezha:

@@ -38,6 +38,20 @@ SLOW_EXPERIMENTS = ["fig2", "fig9", "fig10", "fig11", "fig12", "fig14",
 ALL_EXPERIMENTS = FAST_EXPERIMENTS + SLOW_EXPERIMENTS
 
 
+def _quick_kwargs(name: str) -> dict:
+    """Scaled-down parameters for ``--fast`` single-experiment runs.
+
+    Reuses the macro-bench registry's "quick" profiles so the CI
+    telemetry smoke and the wall-clock benchmarks exercise the exact
+    same configuration.
+    """
+    from repro.bench.macro import MACRO_BENCHES
+    for bench in MACRO_BENCHES:
+        if bench.module == name:
+            return dict(bench.quick_kwargs)
+    return {}
+
+
 def _run_kwargs(run_fn, seed: int, jobs: int) -> dict:
     """Keyword arguments ``run_fn`` actually accepts.
 
@@ -55,17 +69,21 @@ def _run_kwargs(run_fn, seed: int, jobs: int) -> dict:
     return kwargs
 
 
-def run_experiment(name: str, seed: int = 0, jobs: int = 1):
+def run_experiment(name: str, seed: int = 0, jobs: int = 1,
+                   fast: bool = False):
     """Import and execute one experiment; returns (result, elapsed_s)."""
     module = importlib.import_module(f"repro.experiments.{name}")
     kwargs = _run_kwargs(module.run, seed, jobs)
+    if fast:
+        kwargs.update(_quick_kwargs(name))
     started = time.perf_counter()
     result = module.run(**kwargs)
     return result, time.perf_counter() - started
 
 
-def run_one(name: str, seed: int = 0, jobs: int = 1) -> None:
-    result, elapsed = run_experiment(name, seed, jobs)
+def run_one(name: str, seed: int = 0, jobs: int = 1,
+            fast: bool = False) -> None:
+    result, elapsed = run_experiment(name, seed, jobs, fast=fast)
     print(result.to_text())
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
@@ -101,10 +119,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="experiment id (see 'list'), 'all', or 'list'")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fast", action="store_true",
-                        help="with 'all': skip the packet-level experiments")
+                        help="with 'all': skip the packet-level experiments; "
+                             "with a single experiment: use its scaled-down "
+                             "quick parameters (same as the macro benches)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: one per CPU core; "
                              "1 = sequential in-process)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record telemetry (metrics, latency spans, "
+                             "unified trace, engine profile) and export it "
+                             "as JSONL to PATH; forces --jobs 1 because the "
+                             "recorders are in-process")
     args = parser.parse_args(argv)
 
     jobs = default_jobs() if args.jobs is None else args.jobs
@@ -115,13 +140,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("model-based (seconds):", ", ".join(FAST_EXPERIMENTS))
         print("packet-level (minutes):", ", ".join(SLOW_EXPERIMENTS))
         return 0
-    if args.experiment == "all":
-        names = FAST_EXPERIMENTS if args.fast else ALL_EXPERIMENTS
-        run_all(names, args.seed, jobs)
-        return 0
-    if args.experiment not in ALL_EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'list'",
-              file=sys.stderr)
-        return 2
-    run_one(args.experiment, args.seed, jobs)
+
+    tel = None
+    if args.telemetry is not None:
+        from repro import telemetry
+        tel = telemetry.install(profile=True)
+        jobs = 1  # pool workers would not share the in-process recorders
+    try:
+        if args.experiment == "all":
+            names = FAST_EXPERIMENTS if args.fast else ALL_EXPERIMENTS
+            run_all(names, args.seed, jobs)
+        elif args.experiment not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        else:
+            run_one(args.experiment, args.seed, jobs, fast=args.fast)
+        if tel is not None:
+            lines = tel.export(args.telemetry)
+            print(f"[telemetry: {lines} lines -> {args.telemetry}]")
+    finally:
+        if tel is not None:
+            from repro import telemetry
+            telemetry.uninstall()
     return 0

@@ -80,8 +80,29 @@ class Link:
         self.bytes_carried = 0
         self.drops_down = 0
         self._busy_until = {id(a): 0.0, id(b): 0.0}
+        self._created_at = engine.now
         a.link = b.link = self
         a.peer, b.peer = b, a
+        from repro import telemetry
+        tel = telemetry.current()
+        if tel is not None:
+            tel.register_link(self)
+
+    @property
+    def name(self) -> str:
+        return f"{self.a.device.name}--{self.b.device.name}"
+
+    def queue_depth(self) -> float:
+        """Worst-direction backlog (seconds of queued serialization)."""
+        now = self.engine.now
+        return max(0.0, max(self._busy_until.values()) - now)
+
+    def utilization(self) -> float:
+        """Lifetime carried bits over the link's one-direction capacity."""
+        elapsed = self.engine.now - self._created_at
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes_carried * 8) / (self.bits_per_second * elapsed)
 
     def transmit(self, from_port: Port, packet: "Packet") -> None:
         if not self.up:

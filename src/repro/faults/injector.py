@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.sim.engine import Engine
 from repro.sim.rng import SeededRng
 from repro.sim.trace import Trace
+from repro import telemetry as _telemetry
 from repro.faults.events import FaultEvent, FaultKind
 
 
@@ -49,7 +50,8 @@ class FaultInjector:
         self.controller = controller
         self.learners = list(learners)
         self.rng = rng or SeededRng(0, "fault-injector")
-        self.trace = trace or Trace(lambda: engine.now)
+        self.trace = trace or _telemetry.active_trace(engine) \
+            or Trace(lambda: engine.now)
         self.rpc_drop_prob = rpc_drop_prob
         self.learner_drop_prob = learner_drop_prob
         self._vswitch_by_name = {vs.name: vs for vs in vswitches}

@@ -28,6 +28,10 @@ class SmartNic:
         self.cost_model = cost_model or CostModel.testbed()
         self.vswitch = VSwitch(engine, server, self.cost_model,
                                name=f"vs-{server.name}", trace=trace)
+        from repro import telemetry
+        tel = telemetry.current()
+        if tel is not None:
+            tel.register_smartnic(self)
 
     @property
     def name(self) -> str:

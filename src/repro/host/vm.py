@@ -23,6 +23,7 @@ from repro.errors import ConfigError
 from repro.net.packet import Packet
 from repro.sim.engine import Engine
 from repro.sim.resources import CpuResource
+from repro.telemetry import spans as _spans
 from repro.vswitch.vnic import Vnic
 
 
@@ -117,6 +118,11 @@ class Vm:
 
         def deliver():
             yield job
+            # Terminal span hop, recorded at the same instant a listener's
+            # own latency math runs — span totals match experiment numbers
+            # exactly, not just within rounding.
+            if _spans.ACTIVE:
+                _spans.finish(packet, "vm_rx", self.engine.now)
             l4 = packet.inner_l4()
             dst_port = getattr(l4, "dst_port", 0)
             handler = self._listeners.get((vnic.vnic_id, dst_port))

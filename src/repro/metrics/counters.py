@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 
 class RateMeter:
@@ -16,9 +16,12 @@ class RateMeter:
         self.window = window
         self._events: Deque[Tuple[float, float]] = deque()
         self.total = 0.0
+        self._first_mark: Optional[float] = None
 
     def mark(self, count: float = 1.0) -> None:
         now = self._clock()
+        if self._first_mark is None:
+            self._first_mark = now
         self._events.append((now, count))
         self.total += count
         self._prune(now)
@@ -29,7 +32,17 @@ class RateMeter:
             self._events.popleft()
 
     def rate(self) -> float:
-        """Current events/second."""
+        """Current events/second.
+
+        Before a full window has elapsed since the first mark, dividing by
+        the whole window under-reports — one event 0.1 s into a 1 s window
+        is 10/s, not 1/s — so the divisor is the elapsed time, capped at
+        the window.
+        """
         now = self._clock()
         self._prune(now)
-        return sum(count for _t, count in self._events) / self.window
+        if self._first_mark is None:
+            return 0.0
+        elapsed = now - self._first_mark
+        divisor = min(self.window, elapsed) if elapsed > 0 else self.window
+        return sum(count for _t, count in self._events) / divisor

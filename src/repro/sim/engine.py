@@ -255,6 +255,10 @@ class Engine:
         self._run_until: Optional[float] = None
         self._crashes: List[Tuple[Process, BaseException]] = []
         self.strict = True
+        # Optional telemetry hook (repro.telemetry.profiler). None keeps
+        # dispatch on the direct ``fn(*args)`` path — one ``is None``
+        # check per event, cached in a local by the run loop.
+        self.profiler = None
 
     # -- time ---------------------------------------------------------------
 
@@ -341,11 +345,15 @@ class Engine:
         heap = self._heap
         ready = self._ready
         bound = self._run_until
+        profiler = self.profiler
         last = len(items) - 1
         while True:
             when, fn, args = items[index]
             self._now = when
-            fn(*args)
+            if profiler is None:
+                fn(*args)
+            else:
+                profiler.dispatch(fn, args, when)
             if index == last:
                 return
             index += 1
@@ -414,6 +422,7 @@ class Engine:
         """
         heap = self._heap
         ready = self._ready
+        profiler = self.profiler
         # Published so batch entries (call_at_batch) stop unfolding at the
         # bound instead of running items past ``until``.
         self._run_until = until
@@ -433,7 +442,10 @@ class Engine:
                     self._now = when
                 else:
                     fn, args = ready.popleft()
-                fn(*args)
+                if profiler is None:
+                    fn(*args)
+                else:
+                    profiler.dispatch(fn, args, self._now)
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -452,13 +464,15 @@ class Engine:
                            or self._heap[0][0] == self._now):
             when, _seq, fn, args = heapq.heappop(self._heap)
             self._now = when
-            fn(*args)
-            return True
-        if self._ready:
+        elif self._ready:
             fn, args = self._ready.popleft()
+        else:
+            return False
+        if self.profiler is None:
             fn(*args)
-            return True
-        return False
+        else:
+            self.profiler.dispatch(fn, args, self._now)
+        return True
 
     @property
     def pending(self) -> int:

@@ -1,0 +1,92 @@
+"""JSONL export and validation for telemetry captures.
+
+One run dumps to one ``.jsonl`` file. The first line is a header; each
+subsequent line is a self-describing record::
+
+    {"type": "header", "schema": "telemetry/v1", ...}
+    {"type": "metric", "name": "...", "kind": "counter", "value": ...}
+    {"type": "span", "label": "...", "t0": ..., "hops": [...]}
+    {"type": "trace", "time": ..., "kind": "...", "fields": {...}}
+    {"type": "profile", "total_events": ..., "top": [...]}
+
+``tools/telemetry.py`` consumes these files; :func:`validate_report`
+is the schema gate CI runs against a fresh export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+SCHEMA = "telemetry/v1"
+
+LINE_TYPES = ("header", "metric", "span", "trace", "profile")
+
+_REQUIRED_FIELDS: Dict[str, tuple] = {
+    "header": ("schema",),
+    "metric": ("name", "kind", "value"),
+    "span": ("label", "t0", "hops", "total"),
+    "trace": ("time", "kind", "fields"),
+    "profile": ("total_events", "total_wall_s", "top"),
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort coercion so free-form trace fields never break a dump."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def write_jsonl(path: Path, lines: Iterable[Dict[str, Any]]) -> int:
+    """Write records as JSONL; returns the number of lines written."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(_jsonable(line), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load(path: Path) -> List[Dict[str, Any]]:
+    """Parse a JSONL export back into a list of record dicts."""
+    records: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_no, raw in enumerate(fh, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                records.append(json.loads(raw))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON: {exc}") from exc
+    return records
+
+
+def validate_report(records: List[Dict[str, Any]]) -> List[str]:
+    """Schema check; returns human-readable problems (empty = valid)."""
+    problems: List[str] = []
+    if not records:
+        return ["file is empty"]
+    header = records[0]
+    if header.get("type") != "header":
+        problems.append("first line is not a header record")
+    elif header.get("schema") != SCHEMA:
+        problems.append(
+            f"unknown schema {header.get('schema')!r}, expected {SCHEMA!r}")
+    for index, record in enumerate(records, 1):
+        line_type = record.get("type")
+        if line_type not in LINE_TYPES:
+            problems.append(f"line {index}: unknown type {line_type!r}")
+            continue
+        for field in _REQUIRED_FIELDS[line_type]:
+            if field not in record:
+                problems.append(
+                    f"line {index}: {line_type} record missing {field!r}")
+    return problems

@@ -12,6 +12,7 @@ from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.net.addr import IPv4Address, MacAddress
 from repro.net.packet import Packet
+from repro.telemetry import spans as _spans
 from repro.vswitch.slow_path import SlowPath
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -70,6 +71,8 @@ class Vnic:
         I/O adapter (§7.4) unless an app registered on the child directly.
         """
         self.rx_delivered += 1
+        if _spans.ACTIVE and self.host is not None:
+            _spans.hop(packet, "deliver", self.host.engine.now)
         if self.parent is not None and self._guest_rx is None:
             packet.meta["child_vnic"] = self.vnic_id
             self.parent.deliver(packet)

@@ -34,6 +34,8 @@ from repro.net.vxlan import VXLAN_PORT, VxlanHeader
 from repro.sim.engine import Engine
 from repro.sim.resources import CpuResource, MemoryBudget
 from repro.sim.trace import Trace
+from repro import telemetry as _telemetry
+from repro.telemetry import spans as _spans
 from repro.vswitch.actions import (ActionKind, Direction, FinalAction,
                                    PreActions, process_pkt)
 from repro.vswitch.costs import CostModel
@@ -116,7 +118,8 @@ class VSwitch:
         self.server = server
         self.cost_model = cost_model
         self.name = name or f"vs-{server.name}"
-        self.trace = trace or Trace(lambda: engine.now)
+        self.trace = trace or _telemetry.active_trace(engine) \
+            or Trace(lambda: engine.now)
         self.cpu = CpuResource(engine, cost_model.cores, cost_model.hz,
                                name=f"{self.name}.cpu",
                                util_window=cost_model.util_window)
@@ -141,6 +144,9 @@ class VSwitch:
         self._aging_started = False
         self._probe_reply_cbs: List[Callable[[Packet], None]] = []
         server.attach_sink(self._fabric_sink)
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.register_vswitch(self)
 
     # -- vNIC management --------------------------------------------------------
 
@@ -286,6 +292,8 @@ class VSwitch:
             raise ConfigError(f"{vnic!r} is not hosted by {self.name}")
         self.stats.tx_packets += 1
         vnic.tx_sent += 1
+        if _spans.ACTIVE:
+            _spans.hop(packet, "vswitch_in", self.engine.now)
         self.datapath_for(vnic).handle_tx(vnic, packet)
 
     def send_from_vnic_burst(self, vnic: Vnic, packets: List[Packet]) -> None:
@@ -298,6 +306,10 @@ class VSwitch:
             raise ConfigError(f"{vnic!r} is not hosted by {self.name}")
         self.stats.tx_packets += len(packets)
         vnic.tx_sent += len(packets)
+        if _spans.ACTIVE:
+            now = self.engine.now
+            for packet in packets:
+                _spans.hop(packet, "vswitch_in", now)
         self.datapath_for(vnic).handle_tx_burst(vnic, packets)
 
     def _fabric_sink(self, packet: Packet) -> None:
@@ -349,6 +361,8 @@ class VSwitch:
 
     def _handle_overlay_rx(self, packet: Packet, vni: int) -> None:
         self.stats.rx_packets += 1
+        if _spans.ACTIVE:
+            _spans.hop(packet, "vswitch_rx", self.engine.now)
         outer_ip = packet.find(IPv4Header)
         outer_src = outer_ip.src if outer_ip is not None else None
         packet.decap_until(VxlanHeader)
@@ -380,6 +394,8 @@ class VSwitch:
             self.stats.no_route_drops += 1
             self.trace.emit("pkt.no_route", vswitch=self.name)
             return
+        if _spans.ACTIVE:
+            _spans.hop(packet, "fabric_tx", self.engine.now)
         entropy = 49152 + (packet.five_tuple().hash() & 0x3FFF)
         wrapped = make_underlay_transport(
             self.server.mac, action.next_hop_mac or MacAddress.broadcast(),
@@ -407,6 +423,8 @@ class VSwitch:
                 self.stats.no_route_drops += 1
                 self.trace.emit("pkt.no_route", vswitch=self.name)
                 continue
+            if _spans.ACTIVE:
+                _spans.hop(packet, "fabric_tx", self.engine.now)
             entropy = 49152 + (packet.five_tuple().hash() & 0x3FFF)
             wrapped = make_underlay_transport(
                 self.server.mac, action.next_hop_mac or MacAddress.broadcast(),

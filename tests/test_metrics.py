@@ -119,8 +119,38 @@ def test_rate_meter_measures_rate():
     for i in range(10):
         engine.call_at(i * 0.1, meter.mark)
     engine.run()
-    assert meter.rate() == pytest.approx(10.0)
+    # Only 0.9 s elapsed since the first mark, so the divisor is the
+    # elapsed time, not the full window: 10 events / 0.9 s.
+    assert meter.rate() == pytest.approx(10 / 0.9)
     assert meter.total == 10
+
+
+def test_rate_meter_no_startup_bias():
+    """Early readings divide by elapsed time, not the full window."""
+    engine = Engine()
+    meter = RateMeter(lambda: engine.now, window=1.0)
+    for i in range(4):
+        engine.call_at(i * 0.05, meter.mark)
+    engine.call_at(0.2, lambda: None)
+    engine.run()
+    # 4 events over 0.2 s: the old code reported 4/s; unbiased is 20/s.
+    assert meter.rate() == pytest.approx(4 / 0.2)
+
+
+def test_rate_meter_full_window_unchanged():
+    """Once a full window has elapsed, rates match the old definition."""
+    engine = Engine()
+    meter = RateMeter(lambda: engine.now, window=1.0)
+    for i in range(30):
+        engine.call_at(i * 0.1, meter.mark)
+    engine.run()
+    # At t=2.9 the trailing 1 s window holds the marks at 2.0..2.9.
+    assert meter.rate() == pytest.approx(10.0)
+
+
+def test_rate_meter_no_marks_is_zero():
+    meter = RateMeter(lambda: 5.0, window=1.0)
+    assert meter.rate() == 0.0
 
 
 def test_rate_meter_window_expiry():

@@ -157,3 +157,53 @@ def test_trace_disable_stops_recording():
     trace.disable("k")
     trace.emit("k")
     assert trace.count("k") == 1
+
+
+def test_trace_enable_all_records_everything():
+    _engine, trace = _mk_trace()
+    trace.enable_all()
+    trace.emit("never.enabled.explicitly", x=1)
+    assert trace.count("never.enabled.explicitly") == 1
+    # Explicit disable wins over the record-everything default.
+    trace.disable("noisy")
+    trace.emit("noisy")
+    assert trace.count("noisy") == 0
+
+
+def test_trace_ring_buffer_caps_memory():
+    engine = Engine()
+    trace = Trace(lambda: engine.now, capacity=3)
+    trace.enable("k")
+    for i in range(5):
+        trace.emit("k", i=i)
+    records = trace.records("k")
+    assert len(records) == 3
+    assert [r.i for r in records] == [2, 3, 4]  # oldest evicted first
+    assert trace.dropped == 2
+
+
+def test_trace_clear_resets_dropped():
+    engine = Engine()
+    trace = Trace(lambda: engine.now, capacity=1)
+    trace.enable("k")
+    trace.emit("k")
+    trace.emit("k")
+    assert trace.dropped == 1
+    trace.clear()
+    assert trace.dropped == 0
+    assert trace.records() == []
+
+
+def test_trace_capacity_validation():
+    with pytest.raises(ValueError):
+        Trace(lambda: 0.0, capacity=0)
+
+
+def test_trace_disable_detaches_callbacks():
+    _engine, trace = _mk_trace()
+    seen = []
+    trace.on("alert", seen.append)
+    trace.emit("alert")
+    trace.disable("alert")
+    trace.emit("alert")
+    assert len(seen) == 1  # callback detached, not just recording stopped

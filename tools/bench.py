@@ -42,7 +42,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import run_all, run_macro  # noqa: E402
+from repro.bench import run_all, run_macro, run_telemetry_overhead  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
 DEFAULT_MACRO_OUTPUT = REPO_ROOT / "BENCH_experiments.json"
@@ -160,6 +160,60 @@ def run_experiments_mode(args) -> int:
     return 0
 
 
+def run_telemetry_mode(args) -> int:
+    """Measure telemetry overhead on the fig9 macro bench.
+
+    Without ``--smoke``: merges a ``telemetry_overhead`` block into the
+    committed BENCH_fastpath.json (leaving the micro benches alone).
+    With ``--smoke``: gates against that block — the tracing-off wall
+    clock (calibration-normalized, so it transfers across machines) may
+    not regress more than ``--tolerance`` (default 2% here), and the
+    telemetry-on run must render a byte-identical result table.
+    """
+    tolerance = 0.02 if args.tolerance is None else args.tolerance
+    repeats = 1 if args.smoke else 3
+    entry = run_telemetry_overhead(repeats=repeats)
+    print(f"fig9 (quick):  telemetry off {entry['off_s']:.2f}s  "
+          f"on {entry['on_s']:.2f}s  "
+          f"overhead {entry['overhead_ratio']:.3f}x  "
+          f"identical output: {entry['identical_output']}")
+
+    if not entry["identical_output"]:
+        print("\nerror: installing telemetry changed the experiment's "
+              "result table", file=sys.stderr)
+        return 1
+
+    if args.smoke:
+        if not args.output.exists():
+            print(f"error: no baseline at {args.output}; run "
+                  f"--telemetry without --smoke first", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.output.read_text()) \
+            .get("telemetry_overhead")
+        if baseline is None:
+            print(f"error: {args.output.name} has no telemetry_overhead "
+                  f"block; run --telemetry without --smoke first",
+                  file=sys.stderr)
+            return 2
+        ceiling = baseline["normalized_off"] * (1.0 + tolerance)
+        if entry["normalized_off"] > ceiling:
+            print(f"\nREGRESSION: tracing-off fig9 cost "
+                  f"{entry['normalized_off']:,.0f} exceeds baseline "
+                  f"{baseline['normalized_off']:,.0f} by more than "
+                  f"{tolerance:.0%}", file=sys.stderr)
+            return 1
+        print(f"\ntelemetry smoke OK: tracing-off cost within "
+              f"{tolerance:.0%} of {args.output.name}")
+        return 0
+
+    doc = json.loads(args.output.read_text()) if args.output.exists() \
+        else {"schema": SCHEMA}
+    doc["telemetry_overhead"] = entry
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -168,6 +222,12 @@ def main(argv=None) -> int:
     parser.add_argument("--experiments", action="store_true",
                         help="macro mode: per-experiment sequential vs "
                              "parallel wall clocks -> BENCH_experiments.json")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="telemetry mode: fig9 wall clock with the "
+                             "telemetry stack installed vs not; merges a "
+                             "telemetry_overhead block into "
+                             "BENCH_fastpath.json (with --smoke: gate "
+                             "only, default tolerance 2%%)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for --experiments "
                              "(default: one per CPU core)")
@@ -186,13 +246,15 @@ def main(argv=None) -> int:
     parser.add_argument("--target-seconds", type=float, default=None,
                         help="min measured wall time per bench "
                              "(default: 0.25, or 0.05 with --smoke)")
-    parser.add_argument("--tolerance", type=float, default=0.30,
+    parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression for --smoke "
-                             "(default: %(default)s)")
+                             "(default: 0.30, or 0.02 with --telemetry)")
     args = parser.parse_args(argv)
 
     if args.experiments:
         return run_experiments_mode(args)
+    if args.telemetry:
+        return run_telemetry_mode(args)
 
     target = args.target_seconds
     if target is None:
@@ -206,14 +268,15 @@ def main(argv=None) -> int:
             print(f"error: no baseline at {args.output}; run without "
                   f"--smoke first", file=sys.stderr)
             return 2
+        tolerance = 0.30 if args.tolerance is None else args.tolerance
         baseline_doc = json.loads(args.output.read_text())
-        failures = check_regressions(results, baseline_doc, args.tolerance)
+        failures = check_regressions(results, baseline_doc, tolerance)
         if failures:
             print("\nREGRESSIONS:", file=sys.stderr)
             for failure in failures:
                 print(f"  - {failure}", file=sys.stderr)
             return 1
-        print(f"\nsmoke OK: no bench regressed >{args.tolerance:.0%} "
+        print(f"\nsmoke OK: no bench regressed >{tolerance:.0%} "
               f"vs {args.output.name}")
         return 0
 
@@ -230,6 +293,12 @@ def main(argv=None) -> int:
         "calibration_ops_per_sec": calibration,
         "benches": results,
     }
+    if args.output.exists():
+        # A full micro regen must not drop the separately-tracked
+        # telemetry overhead block (regenerated via --telemetry).
+        previous = json.loads(args.output.read_text())
+        if "telemetry_overhead" in previous:
+            doc["telemetry_overhead"] = previous["telemetry_overhead"]
     args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
     return 0

@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Post-mortem inspector for telemetry JSONL exports.
+
+Produce a capture with any experiment entry point::
+
+    PYTHONPATH=src python -m repro.experiments fig12 --telemetry run.jsonl
+    PYTHONPATH=src python -m repro.experiments.chaos --telemetry soak.jsonl
+
+Then inspect it::
+
+    python tools/telemetry.py report run.jsonl
+    python tools/telemetry.py spans run.jsonl --label 'offloaded/*'
+    python tools/telemetry.py timeline soak.jsonl --kind 'fault.*'
+    python tools/telemetry.py validate run.jsonl
+
+``report`` is the overview: capture header, metric snapshot, the
+per-label latency-span breakdown (Fig-12-style local vs offloaded
+per-segment decomposition), and the engine profile. ``spans`` goes
+deeper on one or more span labels. ``timeline`` prints the unified
+trace — faults, controller decisions, monitor verdicts, offload
+lifecycle — interleaved in time order, which is the chaos-soak
+post-mortem view. ``validate`` is the schema gate CI runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.percentiles import percentile_summary  # noqa: E402
+from repro.telemetry.export import load, validate_report  # noqa: E402
+
+
+def _by_type(records: List[Dict[str, Any]], line_type: str) -> List[Dict]:
+    return [r for r in records if r.get("type") == line_type]
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:10.2f}"
+
+
+# -- span aggregation (mirror of SpanRecorder.aggregate over dicts) --------
+
+
+def _segments(span: Dict[str, Any]) -> List[Dict[str, float]]:
+    out = []
+    prev_name, prev_t = "start", span["t0"]
+    for hop in span["hops"]:
+        out.append({"name": f"{prev_name}->{hop['name']}",
+                    "dt": hop["time"] - prev_t})
+        prev_name, prev_t = hop["name"], hop["time"]
+    return out
+
+
+def aggregate_spans(spans: List[Dict[str, Any]],
+                    pattern: str = "*") -> Dict[str, Dict[str, Any]]:
+    """Per-label count / latency summary / per-segment summary."""
+    labels: List[str] = []
+    for span in spans:
+        if span["label"] not in labels and \
+                fnmatchcase(span["label"], pattern):
+            labels.append(span["label"])
+    out: Dict[str, Dict[str, Any]] = {}
+    for label in labels:
+        group = [s for s in spans if s["label"] == label]
+        totals = [s["total"] for s in group]
+        segment_samples: Dict[str, List[float]] = {}
+        for span in group:
+            for seg in _segments(span):
+                segment_samples.setdefault(seg["name"], []).append(seg["dt"])
+        out[label] = {
+            "count": len(group),
+            "latency": percentile_summary(totals),
+            "segments": {name: percentile_summary(samples)
+                         for name, samples in segment_samples.items()},
+        }
+    return out
+
+
+def print_span_breakdown(spans: List[Dict[str, Any]], pattern: str = "*",
+                         detailed: bool = False) -> None:
+    aggregated = aggregate_spans(spans, pattern)
+    if not aggregated:
+        print(f"  no spans match {pattern!r}")
+        return
+    for label, entry in aggregated.items():
+        latency = entry["latency"]
+        print(f"  {label}  ({entry['count']} spans)")
+        print(f"    total latency (us): p50 {latency['P50'] * 1e6:.2f}  "
+              f"p90 {latency['P90'] * 1e6:.2f}  "
+              f"p99 {latency['P99'] * 1e6:.2f}  "
+              f"avg {latency['avg'] * 1e6:.2f}")
+        if detailed:
+            print(f"    {'segment':<28} {'p50 us':>10} {'p90 us':>10} "
+                  f"{'p99 us':>10}")
+            for name, summary in entry["segments"].items():
+                print(f"    {name:<28} {_us(summary['P50'])} "
+                      f"{_us(summary['P90'])} {_us(summary['P99'])}")
+        else:
+            parts = [f"{name} {summary['P50'] * 1e6:.2f}"
+                     for name, summary in entry["segments"].items()]
+            print(f"    segment p50s (us): {'  '.join(parts)}")
+        print()
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def cmd_report(args) -> int:
+    records = load(args.file)
+    problems = validate_report(records)
+    if problems:
+        for text in problems:
+            print(f"invalid capture: {text}", file=sys.stderr)
+        return 1
+    header = records[0]
+    print(f"capture: {args.file}")
+    print(f"  {header.get('metrics', 0)} metrics, "
+          f"{header.get('spans', 0)} spans, "
+          f"{header.get('trace_records', 0)} trace records "
+          f"({header.get('trace_dropped', 0)} trace / "
+          f"{header.get('span_dropped', 0)} span records dropped)")
+
+    metrics = [m for m in _by_type(records, "metric")
+               if fnmatchcase(m["name"], args.metrics)]
+    if metrics:
+        print("\nmetrics:")
+        for metric in metrics:
+            value = metric["value"]
+            if metric["kind"] == "events":
+                rendered = f"[{len(value)} entries]"
+            elif metric["kind"] == "histogram":
+                rendered = (f"count {value['count']:.0f}  "
+                            f"p50 {value['P50']:.6g}  p99 {value['P99']:.6g}")
+            elif isinstance(value, float):
+                rendered = f"{value:.6g}"
+            else:
+                rendered = str(value)
+            print(f"  {metric['name']:<44} {metric['kind']:<10} {rendered}")
+
+    spans = _by_type(records, "span")
+    if spans:
+        print("\nlatency spans:")
+        print_span_breakdown(spans)
+
+    profiles = _by_type(records, "profile")
+    for profile in profiles:
+        print("engine profile:")
+        print(f"  {profile['total_events']} events in "
+              f"{profile['total_wall_s']:.3f}s wall "
+              f"({profile.get('events_per_sec', 0):,.0f} events/sec)")
+        print(f"  {'owner':<36} {'events':>10} {'wall s':>9} {'share':>7}")
+        for row in profile["top"]:
+            print(f"  {row['owner']:<36} {row['events']:>10} "
+                  f"{row['wall_s']:>9.3f} {row['share']:>6.1%}")
+    return 0
+
+
+def cmd_spans(args) -> int:
+    records = load(args.file)
+    spans = _by_type(records, "span")
+    if not spans:
+        print("no span records in capture", file=sys.stderr)
+        return 1
+    print_span_breakdown(spans, args.label, detailed=True)
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    records = load(args.file)
+    traces = [t for t in _by_type(records, "trace")
+              if fnmatchcase(t["kind"], args.kind)
+              and args.since <= t["time"]
+              and (args.until is None or t["time"] <= args.until)]
+    traces.sort(key=lambda t: t["time"])
+    if args.limit and len(traces) > args.limit:
+        print(f"... {len(traces) - args.limit} earlier records "
+              f"(raise --limit)")
+        traces = traces[-args.limit:]
+    for trace in traces:
+        fields = " ".join(f"{key}={value}"
+                          for key, value in trace["fields"].items())
+        print(f"  {trace['time']:>12.6f}  {trace['kind']:<28} {fields}")
+    if not traces:
+        print(f"  no trace records match kind={args.kind!r}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    try:
+        records = load(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_report(records)
+    if problems:
+        for text in problems:
+            print(f"FAIL: {text}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.file} is a valid telemetry/v1 capture "
+          f"({len(records)} lines)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/telemetry.py",
+        description="Inspect a telemetry JSONL capture.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="overview: metrics, span "
+                              "breakdown, engine profile")
+    p_report.add_argument("file", type=Path)
+    p_report.add_argument("--metrics", metavar="GLOB", default="*",
+                          help="only show metrics matching this glob")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_spans = sub.add_parser("spans", help="per-segment latency breakdown "
+                             "per span label")
+    p_spans.add_argument("file", type=Path)
+    p_spans.add_argument("--label", metavar="GLOB", default="*",
+                         help="only show span labels matching this glob")
+    p_spans.set_defaults(fn=cmd_spans)
+
+    p_timeline = sub.add_parser("timeline", help="unified trace in time "
+                                "order (faults vs controller reactions)")
+    p_timeline.add_argument("file", type=Path)
+    p_timeline.add_argument("--kind", metavar="GLOB", default="*",
+                            help="only show trace kinds matching this glob "
+                                 "(e.g. 'fault.*', 'controller.*')")
+    p_timeline.add_argument("--since", type=float, default=0.0,
+                            help="drop records before this virtual time")
+    p_timeline.add_argument("--until", type=float, default=None,
+                            help="drop records after this virtual time")
+    p_timeline.add_argument("--limit", type=int, default=200,
+                            help="show at most the last N records "
+                                 "(0 = unlimited; default %(default)s)")
+    p_timeline.set_defaults(fn=cmd_timeline)
+
+    p_validate = sub.add_parser("validate", help="schema gate: exit 1 on "
+                                "a malformed capture")
+    p_validate.add_argument("file", type=Path)
+    p_validate.set_defaults(fn=cmd_validate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        return 0  # output piped into head/less and cut short; not an error
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,9 +27,10 @@ from repro.net.addr import IPv4Address, MacAddress
 from repro.net.five_tuple import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FiveTuple
 from repro.net.packet import Packet, make_underlay_transport
 from repro.sim.engine import Engine
-from repro.sim.resources import MemoryBudget
+from repro.sim.resources import CpuResource, MemoryBudget
 from repro.vswitch.actions import Direction, Verdict
 from repro.vswitch.costs import CostModel
+from repro.vswitch.flow_records import FlowRecordStore, FluidMode
 from repro.vswitch.rule_tables import (AclRule, AclTable, LookupContext,
                                        MappingEntry)
 from repro.vswitch.session_table import EntryMode, SessionTable
@@ -54,7 +55,9 @@ def _legacy_flags(fn: Callable[[], object]) -> Callable[[], object]:
     def wrapped() -> object:
         saved = (Engine.micro_queue, SlowPath.caching,
                  AclTable.bucketed, Packet.memoize,
-                 Link.burst, Datapath.batching, FiveTuple.memoize_key)
+                 Link.burst, Datapath.batching, FiveTuple.memoize_key,
+                 CpuResource.direct_dispatch, FlowRecordStore.enabled,
+                 FluidMode.enabled)
         Engine.micro_queue = False
         SlowPath.caching = False
         AclTable.bucketed = False
@@ -62,12 +65,17 @@ def _legacy_flags(fn: Callable[[], object]) -> Callable[[], object]:
         Link.burst = False
         Datapath.batching = False
         FiveTuple.memoize_key = False
+        CpuResource.direct_dispatch = False
+        FlowRecordStore.enabled = False
+        FluidMode.enabled = False
         try:
             return fn()
         finally:
             (Engine.micro_queue, SlowPath.caching,
              AclTable.bucketed, Packet.memoize,
-             Link.burst, Datapath.batching, FiveTuple.memoize_key) = saved
+             Link.burst, Datapath.batching, FiveTuple.memoize_key,
+             CpuResource.direct_dispatch, FlowRecordStore.enabled,
+             FluidMode.enabled) = saved
 
     return wrapped
 
@@ -78,14 +86,42 @@ def _pre_batching(fn: Callable[[], object]) -> Callable[[], object]:
     recorded speedup isolates batching from the earlier cache work."""
 
     def wrapped() -> object:
-        saved = (Link.burst, Datapath.batching, FiveTuple.memoize_key)
+        saved = (Link.burst, Datapath.batching, FiveTuple.memoize_key,
+                 CpuResource.direct_dispatch, FlowRecordStore.enabled,
+                 FluidMode.enabled)
         Link.burst = False
         Datapath.batching = False
         FiveTuple.memoize_key = False
+        CpuResource.direct_dispatch = False
+        FlowRecordStore.enabled = False
+        FluidMode.enabled = False
         try:
             return fn()
         finally:
-            (Link.burst, Datapath.batching, FiveTuple.memoize_key) = saved
+            (Link.burst, Datapath.batching, FiveTuple.memoize_key,
+             CpuResource.direct_dispatch, FlowRecordStore.enabled,
+             FluidMode.enabled) = saved
+
+    return wrapped
+
+
+def _pre_records(fn: Callable[[], object]) -> Callable[[], object]:
+    """Run ``fn`` on the pre-flow-records path: burst-era switches stay
+    on, only this PR's switches (array-backed records, direct CPU
+    dispatch, fluid runs) flip off — the recorded speedup isolates the
+    flow-record work from the earlier batching work."""
+
+    def wrapped() -> object:
+        saved = (CpuResource.direct_dispatch, FlowRecordStore.enabled,
+                 FluidMode.enabled)
+        CpuResource.direct_dispatch = False
+        FlowRecordStore.enabled = False
+        FluidMode.enabled = False
+        try:
+            return fn()
+        finally:
+            (CpuResource.direct_dispatch, FlowRecordStore.enabled,
+             FluidMode.enabled) = saved
 
     return wrapped
 
@@ -307,6 +343,65 @@ def _setup_datapath_burst_hit():
     return op, _pre_batching(op), len(burst)
 
 
+def _setup_flow_record_hit():
+    engine = Engine()
+    server = ServerNode(engine, "bench-s", IPv4Address("172.16.9.9"),
+                        MacAddress(0xA9))
+    cost_model = CostModel()
+    vswitch = VSwitch(engine, server, cost_model)
+    vnic = Vnic(1, 7, IPv4Address("10.0.0.2"), MacAddress(2),
+                make_standard_chain(cost_model))
+    vswitch.add_vnic(vnic)
+    vnic.attach_guest(lambda pkt: None)
+    datapath = vswitch.datapath_for(vnic)
+    pkt = Packet.udp(IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+                     4242, 5353, payload=b"x" * 256)
+    datapath.handle_rx(vnic, pkt)
+    engine.run()
+    assert vswitch.stats.delivered == 1
+    burst = [pkt.copy() for _ in range(32)]
+
+    def op() -> object:
+        datapath.handle_rx_burst(vnic, burst)
+        engine.run()
+        return vswitch.stats.delivered
+
+    # Legacy twin keeps the burst machinery on and flips only this PR's
+    # switches: the classified run is charged per packet through
+    # SessionState objects instead of the array-backed store.
+    return op, _pre_records(op), len(burst)
+
+
+def _setup_fluid_fastforward():
+    engine = Engine()
+    server = ServerNode(engine, "bench-s", IPv4Address("172.16.9.9"),
+                        MacAddress(0xA9))
+    cost_model = CostModel()
+    vswitch = VSwitch(engine, server, cost_model)
+    vnic = Vnic(1, 7, IPv4Address("10.0.0.2"), MacAddress(2),
+                make_standard_chain(cost_model))
+    vswitch.add_vnic(vnic)
+    # A run-aware guest: fluid delivery stays one descriptor end-to-end.
+    vnic.attach_guest(lambda pkt: None, lambda pkt, n: None)
+    datapath = vswitch.datapath_for(vnic)
+    pkt = Packet.udp(IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+                     4242, 5353, payload=b"x" * 256)
+    datapath.handle_rx(vnic, pkt)
+    engine.run()
+    assert vswitch.stats.delivered == 1
+    run_len = 32
+
+    def op() -> object:
+        datapath.handle_rx_run(vnic, pkt, run_len)
+        engine.run()
+        return vswitch.stats.delivered
+
+    # Legacy twin: with the record store off the run materializes into
+    # 32 copies and replays the burst path — the speedup is the fluid
+    # fast-forward's alone.
+    return op, _pre_records(op), run_len
+
+
 def _legacy_percentile_summary(data) -> Dict[str, float]:
     """The pre-overhaul implementation: one full sort per label."""
     summary = {}
@@ -360,6 +455,14 @@ BENCHES: Tuple[MicroBench, ...] = (
     MicroBench("datapath_burst_hit",
                "32-packet same-flow RX burst through the vSwitch fast path",
                _setup_datapath_burst_hit),
+    MicroBench("flow_record_hit",
+               "32-packet burst charged to array-backed flow records "
+               "vs per-packet SessionState objects",
+               _setup_flow_record_hit),
+    MicroBench("fluid_fastforward",
+               "32-packet fluid run (one descriptor end-to-end) vs "
+               "materialized burst replay",
+               _setup_fluid_fastforward),
 )
 
 

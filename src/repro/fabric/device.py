@@ -33,6 +33,12 @@ class Device:
     def receive(self, packet: Packet, in_port: Port) -> None:
         raise NotImplementedError
 
+    def receive_run(self, packet: Packet, count: int, in_port: Port) -> None:
+        """Fluid arrival: ``count`` identical packets behind one
+        template. Devices without an analytic path materialize copies."""
+        for _ in range(count):
+            self.receive(packet.copy(), in_port)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
 
@@ -48,6 +54,7 @@ class ServerNode(Device):
         self.underlay_ip = IPv4Address(underlay_ip)
         self.mac = MacAddress(mac)
         self._sink: Optional[Callable[[Packet], None]] = None
+        self._run_sink: Optional[Callable[[Packet, int], None]] = None
         self.rx_packets = 0
         self.tx_packets = 0
 
@@ -60,10 +67,23 @@ class ServerNode(Device):
         fabric (the SmartNIC's ingress)."""
         self._sink = sink
 
+    def attach_run_sink(self, sink: Callable[[Packet, int], None]) -> None:
+        """Register the fluid-run ingress (template packet + count);
+        without one, arriving runs materialize through the plain sink."""
+        self._run_sink = sink
+
     def receive(self, packet: Packet, in_port: Port) -> None:
         self.rx_packets += 1
         if self._sink is not None:
             self._sink(packet)
+
+    def receive_run(self, packet: Packet, count: int, in_port: Port) -> None:
+        self.rx_packets += count
+        if self._run_sink is not None:
+            self._run_sink(packet, count)
+        elif self._sink is not None:
+            for _ in range(count):
+                self._sink(packet.copy())
 
     def send_to_fabric(self, packet: Packet) -> bool:
         """Emit a packet onto the underlay; False when disconnected."""
@@ -74,3 +94,8 @@ class ServerNode(Device):
         """Emit a burst onto the underlay as one back-to-back train."""
         self.tx_packets += len(packets)
         return self.uplink.send_burst(packets)
+
+    def send_to_fabric_run(self, packet: Packet, count: int) -> bool:
+        """Emit a fluid run onto the underlay as one descriptor."""
+        self.tx_packets += count
+        return self.uplink.send_run(packet, count)

@@ -41,6 +41,14 @@ class Port:
         self.link.transmit_burst(self, packets)
         return True
 
+    def send_run(self, packet: "Packet", count: int) -> bool:
+        """Transmit a fluid run (``count`` identical packets behind one
+        template) out this port; False if disconnected."""
+        if self.link is None or self.peer is None:
+            return False
+        self.link.transmit_run(self, packet, count)
+        return True
+
     def __repr__(self) -> str:
         return f"Port({self.device.name}[{self.index}])"
 
@@ -155,6 +163,31 @@ class Link:
         self.packets_carried += len(packets)
         self.bytes_carried += nbytes
         engine.call_at_batch(items)
+
+    def transmit_run(self, from_port: Port, packet: "Packet",
+                     count: int) -> None:
+        """Fluid transmit: ``count`` identical packets back-to-back.
+
+        The direction's busy time and the byte/packet counters are
+        exactly what ``count`` :meth:`transmit` calls would produce;
+        delivery coalesces into ONE engine event at the *last* packet's
+        arrival, carrying the run descriptor onward. Mid-run arrival
+        timestamps are the deliberate fluid-mode approximation
+        (aggregates exact, per-packet timing collapsed).
+        """
+        if not self.up:
+            self.drops_down += count
+            return
+        engine = self.engine
+        start = max(engine.now, self._busy_until[id(from_port)])
+        tx_time = packet.wire_length * 8 / self.bits_per_second
+        end = start + count * tx_time
+        self._busy_until[id(from_port)] = end
+        self.packets_carried += count
+        self.bytes_carried += count * packet.wire_length
+        to_port = from_port.peer
+        engine.call_at(end + self.latency,
+                       to_port.device.receive_run, packet, count, to_port)
 
     def set_up(self, up: bool) -> None:
         self.up = up

@@ -75,3 +75,27 @@ class UnderlaySwitch(Device):
         self.forwarded += 1
         self.engine.call_after(self.forwarding_delay,
                                self.ports[egress].send, packet)
+
+    def receive_run(self, packet: Packet, count: int, in_port: Port) -> None:
+        """Fluid arrival: route once for the whole run (identical
+        packets hash identically). The shared template's TTL is
+        decremented once per switch hop — exactly what each materialized
+        packet's own header would experience."""
+        ip = packet.find(IPv4Header)
+        if ip is None:
+            self.no_route_drops += count
+            return
+        next_hops = self.routes.get(ip.dst.value)
+        if not next_hops:
+            self.no_route_drops += count
+            return
+        if not ip.decrement_ttl():
+            self.ttl_drops += count
+            return
+        if len(next_hops) == 1:
+            egress = next_hops[0]
+        else:
+            egress = next_hops[self._ecmp_hash(packet) % len(next_hops)]
+        self.forwarded += count
+        self.engine.call_after(self.forwarding_delay,
+                               self.ports[egress].send_run, packet, count)

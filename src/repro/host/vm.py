@@ -98,7 +98,8 @@ class Vm:
                 f"{self.name}: out of BDF numbers ({self.bdf_budget}); "
                 "enable SR-IOV/SIOV or use child vNICs (§7.4)")
         self.vnics.append(vnic)
-        vnic.attach_guest(lambda pkt, v=vnic: self._rx(v, pkt))
+        vnic.attach_guest(lambda pkt, v=vnic: self._rx(v, pkt),
+                          lambda pkt, n, v=vnic: self._rx_run(v, pkt, n))
 
     def listen(self, vnic: Vnic, port: int,
                handler: Callable[[Packet], None]) -> None:
@@ -108,8 +109,26 @@ class Vm:
     def unlisten(self, vnic: Vnic, port: int) -> None:
         self._listeners.pop((vnic.vnic_id, port), None)
 
+    def _rx_complete(self, vnic: Vnic, packet: Packet) -> None:
+        # Terminal span hop, recorded at the same instant a listener's
+        # own latency math runs — span totals match experiment numbers
+        # exactly, not just within rounding.
+        if _spans.ACTIVE:
+            _spans.finish(packet, "vm_rx", self.engine.now)
+        l4 = packet.inner_l4()
+        dst_port = getattr(l4, "dst_port", 0)
+        handler = self._listeners.get((vnic.vnic_id, dst_port))
+        if handler is not None:
+            handler(packet)
+
     def _rx(self, vnic: Vnic, packet: Packet) -> None:
         """Kernel receive: charge per-packet cost, then demux to the app."""
+        if CpuResource.direct_dispatch:
+            if not self.cpu.try_submit_call(self.cost_model.pkt_cycles,
+                                            self.cost_model.max_backlog,
+                                            self._rx_complete, vnic, packet):
+                self.kernel_drops += 1
+            return
         job = self.cpu.try_submit(self.cost_model.pkt_cycles,
                                   self.cost_model.max_backlog)
         if job is None:
@@ -118,20 +137,75 @@ class Vm:
 
         def deliver():
             yield job
-            # Terminal span hop, recorded at the same instant a listener's
-            # own latency math runs — span totals match experiment numbers
-            # exactly, not just within rounding.
-            if _spans.ACTIVE:
-                _spans.finish(packet, "vm_rx", self.engine.now)
+            self._rx_complete(vnic, packet)
+
+        self.engine.process(deliver(), name=f"{self.name}.rx")
+
+    def _rx_run(self, vnic: Vnic, packet: Packet, count: int) -> None:
+        """Fluid kernel receive: one job covers the whole run; listener
+        delivery (absent for elephant sinks) materializes copies."""
+        cm = self.cost_model
+
+        def complete():
             l4 = packet.inner_l4()
             dst_port = getattr(l4, "dst_port", 0)
             handler = self._listeners.get((vnic.vnic_id, dst_port))
             if handler is not None:
-                handler(packet)
+                for _ in range(count):
+                    handler(packet.copy())
+
+        if CpuResource.direct_dispatch:
+            if not self.cpu.try_submit_call(cm.pkt_cycles * count,
+                                            cm.max_backlog, complete):
+                self.kernel_drops += count
+            return
+        job = self.cpu.try_submit(cm.pkt_cycles * count, cm.max_backlog)
+        if job is None:
+            self.kernel_drops += count
+            return
+
+        def deliver():
+            yield job
+            complete()
 
         self.engine.process(deliver(), name=f"{self.name}.rx")
 
     # -- transmission -----------------------------------------------------------------
+
+    def _tx_complete(self, vnic: Vnic, packet: Packet,
+                     on_sent: Optional[Callable[[], None]]) -> None:
+        vnic.host.send_from_vnic(vnic, packet)
+        if on_sent is not None:
+            on_sent()
+
+    def _dispatch_conn(self, serial_cycles: float, parallel_cycles: float,
+                       fn, *args) -> bool:
+        """Book the lock + vCPU slices of a connection burst and schedule
+        ``fn`` at the instant — and micro-queue position — the legacy
+        two-job generator would reach its body.
+
+        The legacy generator yields the lock job first: if it finishes
+        after the parallel job, completion resumes once off the lock pop
+        (one micro-hop), then finds the parallel event already succeeded
+        and hops once more; if the parallel job finishes later, its own
+        pop resumes the body in a single hop. The lock slice is booked
+        before the vCPU admission check, so a backlogged vCPU still
+        consumes lock time — the same booking leak the job path has.
+        """
+        cm = self.cost_model
+        engine = self.engine
+        end_lock = self.kernel_lock.try_book(serial_cycles, cm.max_backlog)
+        if end_lock is None:
+            return False
+        end_par = self.cpu.try_book(parallel_cycles, cm.max_backlog)
+        if end_par is None:
+            return False
+        if end_par > end_lock:
+            engine.call_at(end_par, engine.call_soon, fn, *args)
+        else:
+            engine.call_at(end_lock, engine.call_soon,
+                           engine.call_soon, fn, *args)
+        return True
 
     def send(self, vnic: Vnic, packet: Packet,
              new_connection: bool = False,
@@ -144,6 +218,21 @@ class Vm:
         if vnic.host is None:
             raise ConfigError(f"{vnic!r} is not hosted by any vSwitch")
         cm = self.cost_model
+        if CpuResource.direct_dispatch:
+            if new_connection:
+                self.conns_opened += 1
+                if not self._dispatch_conn(cm.conn_serial_cycles,
+                                           cm.conn_parallel_cycles,
+                                           self._tx_complete,
+                                           vnic, packet, on_sent):
+                    self.kernel_drops += 1
+            else:
+                if not self.cpu.try_submit_call(cm.pkt_cycles,
+                                                cm.max_backlog,
+                                                self._tx_complete,
+                                                vnic, packet, on_sent):
+                    self.kernel_drops += 1
+            return
         jobs = []
         if new_connection:
             self.conns_opened += 1
@@ -189,6 +278,21 @@ class Vm:
             return
         n = len(packets)
         cm = self.cost_model
+        if CpuResource.direct_dispatch:
+            if new_connection:
+                self.conns_opened += n
+                if not self._dispatch_conn(cm.conn_serial_cycles * n,
+                                           cm.conn_parallel_cycles * n,
+                                           self._tx_burst_complete,
+                                           vnic, packets, on_sent):
+                    self.kernel_drops += n
+            else:
+                if not self.cpu.try_submit_call(cm.pkt_cycles * n,
+                                                cm.max_backlog,
+                                                self._tx_burst_complete,
+                                                vnic, packets, on_sent):
+                    self.kernel_drops += n
+            return
         if new_connection:
             self.conns_opened += n
             lock_job = self.kernel_lock.try_submit(
@@ -215,6 +319,42 @@ class Vm:
             vnic.host.send_from_vnic_burst(vnic, packets)
             if on_sent is not None:
                 on_sent()
+
+        self.engine.process(transmit(), name=f"{self.name}.tx")
+
+    def _tx_burst_complete(self, vnic: Vnic, packets: List[Packet],
+                           on_sent: Optional[Callable[[], None]]) -> None:
+        vnic.host.send_from_vnic_burst(vnic, packets)
+        if on_sent is not None:
+            on_sent()
+
+    def send_run(self, vnic: Vnic, packet: Packet, count: int,
+                 on_sent: Optional[Callable[[], None]] = None) -> None:
+        """Fluid transmit: ``count`` identical data packets charged as one
+        kernel transaction and handed to the vSwitch as a run descriptor
+        — no per-packet objects anywhere on the hot path."""
+        if vnic.host is None:
+            raise ConfigError(f"{vnic!r} is not hosted by any vSwitch")
+        cm = self.cost_model
+
+        def complete():
+            vnic.host.send_from_vnic_run(vnic, packet, count)
+            if on_sent is not None:
+                on_sent()
+
+        if CpuResource.direct_dispatch:
+            if not self.cpu.try_submit_call(cm.pkt_cycles * count,
+                                            cm.max_backlog, complete):
+                self.kernel_drops += count
+            return
+        job = self.cpu.try_submit(cm.pkt_cycles * count, cm.max_backlog)
+        if job is None:
+            self.kernel_drops += count
+            return
+
+        def transmit():
+            yield job
+            complete()
 
         self.engine.process(transmit(), name=f"{self.name}.tx")
 

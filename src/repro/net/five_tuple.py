@@ -30,7 +30,7 @@ class FiveTuple:
     memoize_key: bool = True
 
     __slots__ = ("src_ip", "dst_ip", "proto", "src_port", "dst_port",
-                 "_hash", "_session_key")
+                 "_hash", "_session_key", "_hash64")
 
     def __init__(
         self,
@@ -50,6 +50,7 @@ class FiveTuple:
         self._hash = hash((self.src_ip, self.dst_ip, self.proto,
                            self.src_port, self.dst_port))
         self._session_key: Tuple = None
+        self._hash64 = None
 
     def reversed(self) -> "FiveTuple":
         """The same session seen from the other direction."""
@@ -80,7 +81,16 @@ class FiveTuple:
         Deterministic across processes (unlike built-in ``hash``), and
         reseedable: §7.5 reconfigures the hash function at the source side
         to fix skew, which we model by changing ``seed``.
+
+        The default-seed digest is memoized (fields are immutable): the
+        forwarding path derives VXLAN source-port entropy from it for
+        every encapsulated packet, which made one sha256 per forward the
+        hot-loop cost.
         """
+        if seed == 0:
+            cached = self._hash64
+            if cached is not None and FiveTuple.memoize_key:
+                return cached
         blob = (
             seed.to_bytes(8, "big", signed=False)
             + self.src_ip.to_bytes()
@@ -89,16 +99,21 @@ class FiveTuple:
             + self.src_port.to_bytes(2, "big")
             + self.dst_port.to_bytes(2, "big")
         )
-        return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+        value = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+        if seed == 0:
+            self._hash64 = value
+        return value
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, FiveTuple)
-            and self.src_ip == other.src_ip
-            and self.dst_ip == other.dst_ip
             and self.proto == other.proto
             and self.src_port == other.src_port
             and self.dst_port == other.dst_port
+            and self.src_ip.value == other.src_ip.value
+            and self.dst_ip.value == other.dst_ip.value
         )
 
     def __hash__(self) -> int:

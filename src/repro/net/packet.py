@@ -40,14 +40,16 @@ H = TypeVar("H")
 class Packet:
     """An ordered header stack (outer first) and a payload.
 
-    ``five_tuple()`` and ``wire_length`` are memoized: both walk the layer
-    stack, and the data path consults them several times per hop. The
-    memo is invalidated by :meth:`encap`/:meth:`decap`/:meth:`decap_until`;
-    code that mutates header fields in place (the NAT rewrites) must call
+    ``five_tuple()``, ``wire_length``, and :meth:`encode` are memoized:
+    all three walk the layer stack, and the data path consults the first
+    two several times per hop while the codec path re-serializes
+    identical headers otherwise. The memos are invalidated by
+    :meth:`encap`/:meth:`decap`/:meth:`decap_until`; code that mutates
+    header fields in place (the NAT rewrites) must call
     :meth:`invalidate_flow_cache` afterwards (see DESIGN.md §3).
     """
 
-    __slots__ = ("layers", "payload", "meta", "_ft", "_wire")
+    __slots__ = ("layers", "payload", "meta", "_ft", "_wire", "_enc")
 
     #: Class-level switch for the five_tuple/wire_length memo. Tests flip
     #: it to prove memoization changes no simulation outputs.
@@ -62,6 +64,7 @@ class Packet:
         self.meta: Dict[str, Any] = meta if meta is not None else {}
         self._ft: Optional[FiveTuple] = None
         self._wire: Optional[int] = None
+        self._enc: Optional[bytes] = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -146,10 +149,11 @@ class Packet:
         return ft
 
     def invalidate_flow_cache(self) -> None:
-        """Drop the memoized flow key / wire length after an in-place
-        header mutation (NAT rewrites, layer surgery)."""
+        """Drop the memoized flow key / wire length / encoded bytes after
+        an in-place header mutation (NAT rewrites, layer surgery)."""
         self._ft = None
         self._wire = None
+        self._enc = None
 
     def vni(self) -> Optional[int]:
         vxlan = self.find(VxlanHeader)
@@ -165,6 +169,7 @@ class Packet:
         self.layers[:0] = list(outer_layers)
         self._ft = None
         self._wire = None
+        self._enc = None
         return self
 
     def decap(self, count: int = 1) -> List[Header]:
@@ -174,6 +179,7 @@ class Packet:
         removed, self.layers = self.layers[:count], self.layers[count:]
         self._ft = None
         self._wire = None
+        self._enc = None
         return removed
 
     def decap_until(self, header_type: Type[Header]) -> List[Header]:
@@ -186,13 +192,32 @@ class Packet:
         if removed:
             self._ft = None
             self._wire = None
+            self._enc = None
         return removed
 
     def copy(self) -> "Packet":
         """A shallow-header copy (headers re-decoded from bytes would be
-        equal); meta is copied so per-hop annotations do not alias."""
-        return Packet([_shallow_copy(layer) for layer in self.layers],
-                      self.payload, dict(self.meta))
+        equal); meta is copied so per-hop annotations do not alias.
+
+        The copy is built through ``__new__`` and inherits the memoized
+        ``five_tuple``/``wire_length``/encoded bytes: a FiveTuple is
+        immutable and the copy's field values are identical by
+        construction, so there is nothing to re-validate. A caller that
+        mutates the copy's headers owes the same
+        :meth:`invalidate_flow_cache` the original would."""
+        new = Packet.__new__(Packet)
+        new.layers = [_shallow_copy(layer) for layer in self.layers]
+        new.payload = self.payload
+        new.meta = dict(self.meta)
+        if Packet.memoize:
+            new._ft = self._ft
+            new._wire = self._wire
+            new._enc = self._enc
+        else:
+            new._ft = None
+            new._wire = None
+            new._enc = None
+        return new
 
     # -- wire form --------------------------------------------------------------
 
@@ -207,7 +232,12 @@ class Packet:
         return wire
 
     def encode(self) -> bytes:
-        return b"".join(layer.encode() for layer in self.layers) + self.payload
+        enc = self._enc
+        if enc is not None and self.memoize:
+            return enc
+        enc = b"".join(layer.encode() for layer in self.layers) + self.payload
+        self._enc = enc
+        return enc
 
     @classmethod
     def decode(cls, data: bytes, first_layer: str = "ipv4") -> "Packet":
@@ -270,7 +300,12 @@ class Packet:
                     raise DecodeError(f"unhandled NSH next proto {nsh.next_proto}")
             else:  # pragma: no cover - defensive
                 raise DecodeError(f"unknown layer kind {expected!r}")
-        return cls(layers, rest)
+        pkt = cls(layers, rest)
+        # The parse consumed every byte of ``data``, and header encodings
+        # are canonical, so the input *is* the packet's wire form: a
+        # decode→encode round trip returns it without re-serializing.
+        pkt._enc = data
+        return pkt
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, Packet)
@@ -304,3 +339,69 @@ def make_underlay_transport(
     ]
     wrapped = Packet(outer + inner.layers, inner.payload, dict(inner.meta))
     return wrapped
+
+
+class EncapTemplate:
+    """Per-(flow, overlay) cache of the constant VXLAN transport headers.
+
+    :func:`make_underlay_transport` builds five header objects per
+    forwarded packet, but for a given session-and-route three of them —
+    the outer Ethernet, the VXLAN header, and the synthetic inner
+    Ethernet — are identical across every packet, and nothing downstream
+    mutates them in place (the underlay only decrements the outer IPv4
+    TTL, and :meth:`Packet.copy` shallow-copies layers before any NAT
+    surgery). Those three are built once here and shared across wraps.
+    The outer IPv4 and UDP headers carry per-packet lengths and the TTL
+    is mutated in flight, so they stay per-wrap.
+
+    The template is cached on the :class:`SessionEntry` (``entry.encap``)
+    and dropped whenever the route can change — demotion, promotion,
+    peer invalidation — or when the wrap-time key (next hop, VNI, source
+    port entropy) stops matching.
+    """
+
+    __slots__ = ("src_mac", "dst_mac", "src_ip", "dst_ip", "vni",
+                 "src_port", "eth", "vxlan", "inner_eth")
+
+    #: UDP-length overhead above the inner packet: UDP + VXLAN + inner Eth.
+    OVERHEAD = (UdpHeader.wire_length + VxlanHeader.wire_length
+                + EthernetHeader.wire_length)
+
+    def __init__(self, src_mac: MacAddress, dst_mac: MacAddress,
+                 src_ip: IPv4Address, dst_ip: IPv4Address,
+                 vni: int, src_port: int) -> None:
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.vni = vni
+        self.src_port = src_port
+        self.eth = EthernetHeader(dst_mac, src_mac)
+        self.vxlan = VxlanHeader(vni)
+        self.inner_eth = EthernetHeader(MacAddress(0x02_00_00_00_00_02),
+                                        MacAddress(0x02_00_00_00_00_01))
+
+    def matches(self, src_mac: MacAddress, dst_mac: MacAddress,
+                src_ip: IPv4Address, dst_ip: IPv4Address,
+                vni: int, src_port: int) -> bool:
+        return (self.src_port == src_port
+                and self.vni == vni
+                and self.dst_ip == dst_ip
+                and self.dst_mac == dst_mac
+                and self.src_ip == src_ip
+                and self.src_mac == src_mac)
+
+    def wrap(self, inner: Packet) -> Packet:
+        """Encapsulate ``inner``; value-identical to
+        :func:`make_underlay_transport` with the same parameters."""
+        udp_len = self.OVERHEAD + inner.wire_length
+        total = IPv4Header.wire_length + udp_len
+        outer = [
+            self.eth,
+            IPv4Header(self.src_ip, self.dst_ip, PROTO_UDP,
+                       total_length=total),
+            UdpHeader(self.src_port, VXLAN_PORT, udp_len),
+            self.vxlan,
+            self.inner_eth,
+        ]
+        return Packet(outer + inner.layers, inner.payload, dict(inner.meta))

@@ -15,7 +15,8 @@ These model the scarce quantities the paper's analysis revolves around:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+from typing import (Any, Callable, Deque, Dict, Generator, List, Optional,
+                    Tuple)
 
 from repro.errors import ResourceExhausted, SimulationError
 from repro.sim.engine import Engine, Event
@@ -35,6 +36,15 @@ class CpuResource:
     controller can poll "current" utilization the way production telemetry
     does.
     """
+
+    #: Class-level switch for direct completion dispatch: booked jobs
+    #: schedule their completion callback straight onto the engine
+    #: (one micro-queue hop after the completion instant, exactly where
+    #: a process resumed by the job Event would run) instead of paying
+    #: an Event + generator Process per job. ``False`` restores the
+    #: event-driven path; the flow-records determinism suite runs
+    #: fig9/fig12 both ways and requires identical tables.
+    direct_dispatch: bool = True
 
     def __init__(
         self,
@@ -67,17 +77,31 @@ class CpuResource:
         """Seconds one core needs for ``cycles`` cycles."""
         return cycles / self.hz
 
-    def submit(self, cycles: float) -> Event:
-        """Enqueue a job; returns an Event fired at its completion time."""
+    def _book(self, cycles: float) -> float:
+        """Reserve the least-loaded core for ``cycles``; returns the
+        completion time. The argmin runs through C-level ``min`` +
+        ``list.index`` instead of a per-core lambda — this is the single
+        hottest expression in a CPS sweep."""
+        free = self._free_at
+        if len(free) == 1:
+            core = 0
+            start = free[0]
+        else:
+            start = min(free)
+            core = free.index(start)
         now = self.engine.now
-        core = min(range(self.cores), key=lambda i: self._free_at[i])
-        start = max(now, self._free_at[core])
-        duration = self.service_time(cycles)
-        end = start + duration
-        self._free_at[core] = end
+        if start < now:
+            start = now
+        end = start + cycles / self.hz
+        free[core] = end
         self._record_busy(start, end)
         self.total_cycles += cycles
         self.jobs_done += 1
+        return end
+
+    def submit(self, cycles: float) -> Event:
+        """Enqueue a job; returns an Event fired at its completion time."""
+        end = self._book(cycles)
         done = self.engine.event(name=f"{self.name}.job")
         self.engine.call_at(end, done.succeed, None)
         return done
@@ -86,18 +110,48 @@ class CpuResource:
         """Process-style helper: ``yield from cpu.execute(cycles)``."""
         yield self.submit(cycles)
 
+    def _backlogged(self, max_backlog: float) -> bool:
+        free = self._free_at
+        head = free[0] if len(free) == 1 else min(free)
+        return head - self.engine.now > max_backlog
+
     def try_submit(self, cycles: float, max_backlog: float) -> Optional[Event]:
         """Submit unless the least-loaded core's backlog exceeds
         ``max_backlog`` seconds; returns None (and counts a rejection) when
         the job is dropped. This models drop-tail under overload.
         """
-        now = self.engine.now
-        core = min(range(self.cores), key=lambda i: self._free_at[i])
-        backlog = max(0.0, self._free_at[core] - now)
-        if backlog > max_backlog:
+        if self._backlogged(max_backlog):
             self.jobs_rejected += 1
             return None
         return self.submit(cycles)
+
+    def try_book(self, cycles: float, max_backlog: float) -> Optional[float]:
+        """Drop-tail admission returning the bare completion time.
+
+        The direct-dispatch twin of :meth:`try_submit`: the caller
+        schedules its own completion callback, so no Event is built.
+        """
+        if self._backlogged(max_backlog):
+            self.jobs_rejected += 1
+            return None
+        return self._book(cycles)
+
+    def try_submit_call(self, cycles: float, max_backlog: float,
+                        fn: Callable[..., None], *args: Any) -> bool:
+        """Book a job and run ``fn(*args)`` at its completion (drop-tail).
+
+        The callback lands on the engine's micro-queue one hop after the
+        completion instant's heap pop — the exact position a process
+        resumed by the job's Event would run at — so schedules are
+        indistinguishable from the event-driven path.
+        """
+        if self._backlogged(max_backlog):
+            self.jobs_rejected += 1
+            return False
+        end = self._book(cycles)
+        engine = self.engine
+        engine.call_at(end, engine.call_soon, fn, *args)
+        return True
 
     # -- telemetry ----------------------------------------------------------
 

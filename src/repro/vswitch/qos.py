@@ -41,6 +41,35 @@ class TokenBucket:
         self.dropped += 1
         return False
 
+    def allow_run(self, nbytes: int, n: int, now: float) -> int:
+        """Police ``n`` same-size packets observed at one instant; returns
+        how many conform (a prefix — admitted packets are the first ``k``).
+
+        Exactly equivalent to ``n`` sequential :meth:`allow` calls at
+        ``now``: the bucket refills once (elapsed is zero from the second
+        call on), then floor-consumes whole packets until tokens run
+        short, after which every remaining call drops with tokens
+        unchanged.
+        """
+        elapsed = max(0.0, now - self.last_refill)
+        self.last_refill = now
+        tokens = min(self.burst_bytes,
+                     self.tokens + elapsed * self.rate_bytes_per_s)
+        if nbytes <= 0:
+            self.tokens = tokens
+            self.conformed += n
+            return n
+        # Repeated subtraction (not k*nbytes) so the float token state is
+        # bit-identical to the per-packet path's.
+        k = 0
+        while k < n and tokens >= nbytes:
+            tokens -= nbytes
+            k += 1
+        self.tokens = tokens
+        self.conformed += k
+        self.dropped += n - k
+        return k
+
 
 class QosEnforcer:
     """Per-(vNIC, QoS class) token buckets for one enforcement point."""
@@ -59,6 +88,18 @@ class QosEnforcer:
             bucket.last_refill = now
             self._buckets[key] = bucket
         return bucket.allow(nbytes, now)
+
+    def allow_run(self, vnic_id: int, qos_class: int, rate_bps: float,
+                  nbytes: int, n: int, now: float) -> int:
+        """Run form of :meth:`allow`; returns the conforming prefix size."""
+        key = (vnic_id, qos_class)
+        bucket = self._buckets.get(key)
+        if bucket is None or \
+                bucket.rate_bytes_per_s != rate_bps / 8.0:
+            bucket = TokenBucket(rate_bps, self.burst_bytes)
+            bucket.last_refill = now
+            self._buckets[key] = bucket
+        return bucket.allow_run(nbytes, n, now)
 
     def bucket_for(self, vnic_id: int, qos_class: int) -> TokenBucket:
         return self._buckets[(vnic_id, qos_class)]

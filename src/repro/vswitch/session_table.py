@@ -24,6 +24,7 @@ from repro.net.five_tuple import FiveTuple
 from repro.sim.resources import MemoryBudget
 from repro.vswitch.actions import PreActions
 from repro.vswitch.costs import CostModel
+from repro.vswitch.flow_records import FlowRecordStore
 from repro.vswitch.state import SessionState
 
 MEM_TAG = "session_table"
@@ -41,10 +42,17 @@ class EntryMode(enum.Enum):
 
 
 class SessionEntry:
-    """One bidirectional session."""
+    """One bidirectional session.
+
+    ``slot`` indexes the table's :class:`FlowRecordStore` column arrays
+    (-1 when the entry carries no state or the store is disabled);
+    ``encap`` caches the entry's :class:`~repro.net.packet.EncapTemplate`
+    and is dropped whenever the route may change (demotion, promotion,
+    peer invalidation).
+    """
 
     __slots__ = ("vni", "five_tuple", "pre_actions", "state", "mode",
-                 "charged_bytes")
+                 "charged_bytes", "slot", "encap")
 
     def __init__(self, vni: int, five_tuple: FiveTuple,
                  pre_actions: Optional[PreActions],
@@ -56,6 +64,8 @@ class SessionEntry:
         self.state = state
         self.mode = mode
         self.charged_bytes = charged_bytes
+        self.slot = -1
+        self.encap = None
 
     def __repr__(self) -> str:
         return (f"SessionEntry({self.five_tuple!r}, vni={self.vni}, "
@@ -74,6 +84,7 @@ class SessionTable:
         self.cost_model = cost_model
         self.variable_state = variable_state
         self._entries: Dict[Key, SessionEntry] = {}
+        self.records = FlowRecordStore()
         self.inserts = 0
         self.insert_failures = 0
         self.aged_out = 0
@@ -143,24 +154,36 @@ class SessionTable:
             state.created_at = now
             state.last_seen = now
         entry = SessionEntry(vni, five_tuple, pre_actions, state, mode, nbytes)
+        if FlowRecordStore.enabled and state is not None:
+            entry.slot = self.records.alloc()
         self._entries[key] = entry
         self.inserts += 1
         return entry
+
+    def _release(self, entry: SessionEntry) -> None:
+        """Materialization boundary for a dying entry: fold any pending
+        flow-record deltas into its state, recycle the slot, free memory."""
+        if entry.slot >= 0:
+            self.records.flush(entry.slot, entry.state)
+            self.records.free(entry.slot)
+            entry.slot = -1
+        self.mem.free(MEM_TAG, entry.charged_bytes)
 
     def remove(self, vni: int, five_tuple: FiveTuple) -> bool:
         key = self._key(vni, five_tuple)
         entry = self._entries.pop(key, None)
         if entry is None:
             return False
-        self.mem.free(MEM_TAG, entry.charged_bytes)
+        self._release(entry)
         return True
 
     def clear(self) -> int:
         """Drop every entry (rule-table change invalidation); returns count."""
         count = len(self._entries)
         for entry in self._entries.values():
-            self.mem.free(MEM_TAG, entry.charged_bytes)
+            self._release(entry)
         self._entries.clear()
+        self.records.clear()
         return count
 
     def remove_vni(self, vni: int, mode: Optional[EntryMode] = None) -> int:
@@ -170,7 +193,7 @@ class SessionTable:
                   if e.vni == vni and (mode is None or e.mode is mode)]
         for key in doomed:
             entry = self._entries.pop(key)
-            self.mem.free(MEM_TAG, entry.charged_bytes)
+            self._release(entry)
         return len(doomed)
 
     def demote_vni(self, vni: int) -> int:
@@ -187,6 +210,9 @@ class SessionTable:
             entry.pre_actions = None
             entry.mode = EntryMode.STATE_ONLY
             entry.charged_bytes = new_bytes
+            entry.encap = None
+            if entry.slot >= 0:
+                self.records.flush(entry.slot, entry.state)
             converted += 1
         return converted
 
@@ -202,6 +228,7 @@ class SessionTable:
         entry.pre_actions = pre_actions
         entry.mode = EntryMode.FULL
         entry.charged_bytes = new_bytes
+        entry.encap = None
         return True
 
     def invalidate_peer_flows(self, vni: int, peer_ip_value: int) -> int:
@@ -228,24 +255,39 @@ class SessionTable:
                 entry.pre_actions = None
                 entry.mode = EntryMode.STATE_ONLY
                 entry.charged_bytes = new_bytes
+                entry.encap = None
+                if entry.slot >= 0:
+                    self.records.flush(entry.slot, entry.state)
                 affected += 1
             elif entry.mode is EntryMode.FLOWS_ONLY:
                 doomed.append(key)
         for key in doomed:
             entry = self._entries.pop(key)
-            self.mem.free(MEM_TAG, entry.charged_bytes)
+            self._release(entry)
             affected += 1
         return affected
 
     def sweep(self, now: float) -> int:
-        """Age out idle sessions (state-dependent timeouts, §7.3)."""
+        """Age out idle sessions (state-dependent timeouts, §7.3).
+
+        A sweep is a materialization boundary: run-charged activity lives
+        in the flow-record columns until flushed here, so ``last_seen``
+        (and thus ``expired``) observes it exactly as the per-packet path
+        would have recorded it.
+        """
         doomed = []
+        records = self.records
         for key, entry in self._entries.items():
-            if entry.state is not None and entry.state.expired(now):
+            state = entry.state
+            if state is None:
+                continue
+            if entry.slot >= 0:
+                records.flush(entry.slot, state)
+            if state.expired(now):
                 doomed.append(key)
         for key in doomed:
             entry = self._entries.pop(key)
-            self.mem.free(MEM_TAG, entry.charged_bytes)
+            self._release(entry)
         self.aged_out += len(doomed)
         return len(doomed)
 

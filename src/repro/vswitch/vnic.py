@@ -55,14 +55,21 @@ class Vnic:
         self.rate_limit_bps = None
         self.host: Optional["VSwitch"] = None
         self._guest_rx: Optional[Callable[[Packet], None]] = None
+        self._guest_rx_run: Optional[Callable[[Packet, int], None]] = None
         self.offloaded = False          # Nezha: rule tables live on FEs
         self.rx_delivered = 0
         self.tx_sent = 0
 
     # -- guest attachment -----------------------------------------------------
 
-    def attach_guest(self, on_rx: Callable[[Packet], None]) -> None:
+    def attach_guest(self, on_rx: Callable[[Packet], None],
+                     on_rx_run: Optional[Callable[[Packet, int],
+                                                  None]] = None) -> None:
+        """``on_rx_run`` lets a guest accept fluid runs (template packet
+        + count) without materialization — a VM kernel registers one;
+        bare callbacks leave it None and runs materialize into copies."""
         self._guest_rx = on_rx
+        self._guest_rx_run = on_rx_run
 
     def deliver(self, packet: Packet) -> None:
         """Hand an RX packet to the guest behind this vNIC.
@@ -79,6 +86,32 @@ class Vnic:
             return
         if self._guest_rx is not None:
             self._guest_rx(packet)
+
+    def deliver_burst(self, packets) -> None:
+        """Burst delivery: per-packet semantics of :meth:`deliver`, kept
+        as the one loop the aggregated RX completion drives. With no
+        spans recording and a guest attached directly, the per-packet
+        branchwork collapses to one counter add and the callback loop."""
+        rx = self._guest_rx
+        if _spans.ACTIVE or rx is None:
+            for packet in packets:
+                self.deliver(packet)
+            return
+        self.rx_delivered += len(packets)
+        for packet in packets:
+            rx(packet)
+
+    def deliver_run(self, packet: Packet, count: int) -> None:
+        """Fluid delivery: one call when the guest understands runs,
+        materialized copies otherwise (spans, bare callbacks, child
+        vNICs delivering through a parent)."""
+        if (_spans.ACTIVE or self._guest_rx_run is None
+                or self._guest_rx is None):
+            for _ in range(count):
+                self.deliver(packet.copy())
+            return
+        self.rx_delivered += count
+        self._guest_rx_run(packet, count)
 
     # -- sizing ------------------------------------------------------------------
 

@@ -27,7 +27,8 @@ from repro.net.ethernet import EthernetHeader
 from repro.net.five_tuple import PROTO_TCP, FiveTuple
 from repro.net.ipv4 import IPv4Header
 from repro.net.nsh import NshHeader
-from repro.net.packet import NSH_PORT, Packet, make_underlay_transport
+from repro.net.packet import (EncapTemplate, NSH_PORT, Packet,
+                              make_underlay_transport)
 from repro.net.tcp import TcpHeader
 from repro.net.udp import UdpHeader
 from repro.net.vxlan import VXLAN_PORT, VxlanHeader
@@ -37,8 +38,10 @@ from repro.sim.trace import Trace
 from repro import telemetry as _telemetry
 from repro.telemetry import spans as _spans
 from repro.vswitch.actions import (ActionKind, Direction, FinalAction,
-                                   PreActions, process_pkt)
+                                   PreActions, Verdict, process_pkt,
+                                   resolve_verdict)
 from repro.vswitch.costs import CostModel
+from repro.vswitch.flow_records import FlowRecordStore, FluidMode
 from repro.vswitch.rule_tables import (AclTable, FlowLogTable, LookupContext,
                                        MappingTable, MirrorTable,
                                        PolicyRouteTable, QosTable, RouteTable)
@@ -107,6 +110,19 @@ class Datapath:
         for packet in packets:
             self.handle_rx(vnic, packet, overlay_src)
 
+    # Fluid entry points: one template packet standing for ``count``
+    # identical packets (FluidMode). The default materializes copies and
+    # takes the burst path, so every datapath accepts runs; strategies
+    # with a real analytic path override these.
+
+    def handle_tx_run(self, vnic: Vnic, packet: Packet, count: int) -> None:
+        self.handle_tx_burst(vnic, [packet.copy() for _ in range(count)])
+
+    def handle_rx_run(self, vnic: Vnic, packet: Packet, count: int,
+                      overlay_src: Optional[IPv4Address] = None) -> None:
+        self.handle_rx_burst(vnic, [packet.copy() for _ in range(count)],
+                             overlay_src)
+
 
 class VSwitch:
     """One SmartNIC vSwitch instance."""
@@ -144,6 +160,7 @@ class VSwitch:
         self._aging_started = False
         self._probe_reply_cbs: List[Callable[[Packet], None]] = []
         server.attach_sink(self._fabric_sink)
+        server.attach_run_sink(self._fabric_sink_run)
         tel = _telemetry.current()
         if tel is not None:
             tel.register_vswitch(self)
@@ -248,7 +265,19 @@ class VSwitch:
     # -- CPU-charged execution helper -------------------------------------------------------
 
     def charge(self, cycles: float, fn: Callable[[], None]) -> bool:
-        """Run ``fn`` after ``cycles`` of CPU time; False = drop-tail."""
+        """Run ``fn`` after ``cycles`` of CPU time; False = drop-tail.
+
+        Under :attr:`CpuResource.direct_dispatch` the completion callback
+        is scheduled straight on the engine — same completion instant and
+        micro-queue position as the event-driven path, minus one Event,
+        one Process, and one generator per packet."""
+        if CpuResource.direct_dispatch:
+            if self.cpu.try_submit_call(cycles, self.cost_model.max_cpu_backlog,
+                                        fn):
+                return True
+            self.stats.cpu_drops += 1
+            self.trace.emit("pkt.cpu_drop", vswitch=self.name)
+            return False
         job = self.cpu.try_submit(cycles, self.cost_model.max_cpu_backlog)
         if job is None:
             self.stats.cpu_drops += 1
@@ -267,6 +296,14 @@ class VSwitch:
         """Run ``fn`` after ``cycles`` of CPU time charged as *one* job
         covering a burst of ``n_packets``; drop-tail rejects the whole
         burst (``cpu_drops`` still counts every packet)."""
+        if CpuResource.direct_dispatch:
+            if self.cpu.try_submit_call(cycles, self.cost_model.max_cpu_backlog,
+                                        fn):
+                return True
+            self.stats.cpu_drops += n_packets
+            for _ in range(n_packets):
+                self.trace.emit("pkt.cpu_drop", vswitch=self.name)
+            return False
         job = self.cpu.try_submit(cycles, self.cost_model.max_cpu_backlog)
         if job is None:
             self.stats.cpu_drops += n_packets
@@ -311,6 +348,25 @@ class VSwitch:
             for packet in packets:
                 _spans.hop(packet, "vswitch_in", now)
         self.datapath_for(vnic).handle_tx_burst(vnic, packets)
+
+    def send_from_vnic_run(self, vnic: Vnic, packet: Packet,
+                           count: int) -> None:
+        """Guest egress (TX), fluid variant: ``packet`` is a template
+        standing for ``count`` identical packets. With telemetry spans
+        active the run re-materializes immediately — spans annotate
+        individual packets, and observation purity beats speed."""
+        if self.crashed:
+            self.stats.crashed_drops += count
+            return
+        if vnic.host is not self:
+            raise ConfigError(f"{vnic!r} is not hosted by {self.name}")
+        if _spans.ACTIVE:
+            self.send_from_vnic_burst(
+                vnic, [packet.copy() for _ in range(count)])
+            return
+        self.stats.tx_packets += count
+        vnic.tx_sent += count
+        self.datapath_for(vnic).handle_tx_run(vnic, packet, count)
 
     def _fabric_sink(self, packet: Packet) -> None:
         """Underlay arrival: classify by outer headers."""
@@ -386,6 +442,53 @@ class VSwitch:
             packet.invalidate_flow_cache()
         self.datapath_for(vnic).handle_rx(vnic, packet, outer_src)
 
+    def _fabric_sink_run(self, packet: Packet, count: int) -> None:
+        """Fluid underlay arrival: one template for ``count`` packets.
+
+        Only VXLAN overlay traffic rides runs (the fluid TX path emits
+        nothing else); spans active or any non-overlay template falls
+        back to per-packet sinking of materialized copies."""
+        if self.crashed:
+            self.stats.crashed_drops += count
+            return
+        vxlan = packet.find(VxlanHeader)
+        if vxlan is None or _spans.ACTIVE:
+            for _ in range(count):
+                self._fabric_sink(packet.copy())
+            return
+        self.stats.rx_packets += count
+        outer_ip = packet.find(IPv4Header)
+        outer_src = outer_ip.src if outer_ip is not None else None
+        packet.decap_until(VxlanHeader)
+        packet.decap(1)                      # VXLAN
+        packet.decap_until(IPv4Header)       # inner Ethernet
+        inner_ip = packet.expect(IPv4Header)
+        vni = vxlan.vni
+        vnic = self.vnic_for(vni, inner_ip.dst)
+        if vnic is None:
+            # Fallback consumption is a function of packet content, so one
+            # probe decides the whole (identical-packet) run.
+            if (self.overlay_fallback is not None
+                    and self.overlay_fallback(packet.copy(), vni, outer_src)):
+                for _ in range(count - 1):
+                    self.overlay_fallback(packet.copy(), vni, outer_src)
+                return
+            self.stats.unknown_vnic_drops += count
+            for _ in range(count):
+                self.trace.emit("pkt.unknown_vnic", vswitch=self.name,
+                                vni=vni)
+            return
+        if inner_ip.dst != vnic.tenant_ip:
+            # NAT alias ingress rewrites headers per packet: materialize.
+            for _ in range(count):
+                copy = packet.copy()
+                copy.meta["nat_original_dst"] = copy.expect(IPv4Header).dst
+                copy.expect(IPv4Header).dst = vnic.tenant_ip
+                copy.invalidate_flow_cache()
+                self.datapath_for(vnic).handle_rx(vnic, copy, outer_src)
+            return
+        self.datapath_for(vnic).handle_rx_run(vnic, packet, count, outer_src)
+
     # -- underlay transmission helper ----------------------------------------------------------
 
     def forward_overlay(self, packet: Packet, action: FinalAction) -> None:
@@ -411,13 +514,34 @@ class VSwitch:
                 packet.copy(), vni=action.vni, src_port=entropy)
             self.server.send_to_fabric(mirror)
 
+    def encap_template(self, entry, next_hop_ip: IPv4Address,
+                       next_hop_mac: MacAddress, vni: int,
+                       src_port: int) -> EncapTemplate:
+        """The entry's cached :class:`EncapTemplate`, (re)built when the
+        route key changed since it was cached."""
+        tmpl = entry.encap if entry is not None else None
+        if tmpl is None or not tmpl.matches(
+                self.server.mac, next_hop_mac, self.server.underlay_ip,
+                next_hop_ip, vni, src_port):
+            tmpl = EncapTemplate(self.server.mac, next_hop_mac,
+                                 self.server.underlay_ip, next_hop_ip,
+                                 vni, src_port)
+            if entry is not None:
+                entry.encap = tmpl
+        return tmpl
+
     def forward_overlay_burst(
-            self, routed: List[Tuple[Packet, FinalAction]]) -> None:
+            self, routed: List[Tuple[Packet, FinalAction]],
+            entry=None) -> None:
         """Encapsulate a burst of (packet, action) pairs and emit them to
         the fabric as one serialized train. Per-packet encapsulation,
         entropy, and mirror handling match :meth:`forward_overlay`
-        exactly; only the uplink scheduling is coalesced."""
+        exactly; only the uplink scheduling is coalesced. When the
+        caller's session ``entry`` is given (and flow records are on),
+        the constant outer headers come from its cached
+        :class:`EncapTemplate` instead of being rebuilt per packet."""
         out: List[Packet] = []
+        use_template = FlowRecordStore.enabled
         for packet, action in routed:
             if action.next_hop_ip is None:
                 self.stats.no_route_drops += 1
@@ -426,10 +550,18 @@ class VSwitch:
             if _spans.ACTIVE:
                 _spans.hop(packet, "fabric_tx", self.engine.now)
             entropy = 49152 + (packet.five_tuple().hash() & 0x3FFF)
-            wrapped = make_underlay_transport(
-                self.server.mac, action.next_hop_mac or MacAddress.broadcast(),
-                self.server.underlay_ip, action.next_hop_ip,
-                packet, vni=action.vni, src_port=entropy)
+            if use_template:
+                tmpl = self.encap_template(
+                    entry, action.next_hop_ip,
+                    action.next_hop_mac or MacAddress.broadcast(),
+                    action.vni, entropy)
+                wrapped = tmpl.wrap(packet)
+            else:
+                wrapped = make_underlay_transport(
+                    self.server.mac,
+                    action.next_hop_mac or MacAddress.broadcast(),
+                    self.server.underlay_ip, action.next_hop_ip,
+                    packet, vni=action.vni, src_port=entropy)
             self.stats.forwarded += 1
             out.append(wrapped)
             if action.mirror_to is not None:
@@ -440,6 +572,25 @@ class VSwitch:
                     packet.copy(), vni=action.vni, src_port=entropy))
         if out:
             self.server.send_to_fabric_burst(out)
+
+    def forward_overlay_run(self, entry, packet: Packet, count: int,
+                            next_hop_ip: Optional[IPv4Address],
+                            next_hop_mac: Optional[MacAddress],
+                            vni: int) -> None:
+        """Fluid forward: wrap the template once and emit one run
+        descriptor; the fabric advances it analytically."""
+        if next_hop_ip is None:
+            self.stats.no_route_drops += count
+            for _ in range(count):
+                self.trace.emit("pkt.no_route", vswitch=self.name)
+            return
+        entropy = 49152 + (packet.five_tuple().hash() & 0x3FFF)
+        tmpl = self.encap_template(entry, next_hop_ip,
+                                   next_hop_mac or MacAddress.broadcast(),
+                                   vni, entropy)
+        wrapped = tmpl.wrap(packet)
+        self.stats.forwarded += count
+        self.server.send_to_fabric_run(wrapped, count)
 
 
 class LocalDatapath(Datapath):
@@ -528,9 +679,13 @@ class LocalDatapath(Datapath):
         whose TCP FSM no packet advances.
 
         One session lookup covers the whole run. Returns
-        ``(entry, run, cycles, next_index)``; ``entry is None`` means
-        ``packets[index]`` must take the per-packet path (miss,
-        STATE_ONLY residue, or an FSM-advancing packet).
+        ``(entry, run, cycles, next_index, fsm_snap, run_bytes)``;
+        ``entry is None`` means ``packets[index]`` must take the
+        per-packet path (miss, STATE_ONLY residue, or an FSM-advancing
+        packet). ``fsm_snap`` is the TCP FSM state the run was classified
+        against: completion may process the run aggregately only while
+        the live state still equals it (the CPU queue can delay
+        completion past an FSM-advancing packet of the same session).
         """
         vs = self.vswitch
         first = packets[index]
@@ -538,24 +693,32 @@ class LocalDatapath(Datapath):
         if (entry is None or entry.pre_actions is None
                 or entry.state is None
                 or not self._fsm_quiet(entry, direction, first)):
-            return None, None, 0.0, index + 1
+            return None, None, 0.0, index + 1, None, 0
         ft = first.five_tuple()
+        # Same flow key => same inner proto, so one check covers the run:
+        # non-TCP flows carry no FSM and every packet is trivially quiet.
+        tcp_flow = ft.proto == PROTO_TCP
         per_byte = vs.cost_model.cycles_per_byte
         base = vs.cost_model.fast_path_cycles
         run = [first]
-        cycles = base + first.wire_length * per_byte
+        nbytes = first.wire_length
+        cycles = base + nbytes * per_byte
         j = index + 1
         n = len(packets)
         while j < n:
             packet = packets[j]
-            if (packet.five_tuple() != ft
-                    or not self._fsm_quiet(entry, direction, packet)):
+            pft = packet.five_tuple()
+            if pft is not ft and pft != ft:
+                break
+            if tcp_flow and not self._fsm_quiet(entry, direction, packet):
                 break
             run.append(packet)
-            cycles += base + packet.wire_length * per_byte
+            wire = packet.wire_length
+            nbytes += wire
+            cycles += base + wire * per_byte
             j += 1
         vs.stats.fast_path_hits += len(run)
-        return entry, run, cycles, j
+        return entry, run, cycles, j, entry.state.tcp_state, nbytes
 
     # -- TX ------------------------------------------------------------------------
 
@@ -578,22 +741,40 @@ class LocalDatapath(Datapath):
         index = 0
         n = len(packets)
         while index < n:
-            entry, run, cycles, index = self._classify_run(
+            entry, run, cycles, index, snap, nbytes = self._classify_run(
                 vnic, packets, index, Direction.TX)
             if entry is None:
                 self._tx_single(vnic, packets[index - 1])
                 continue
             vs.charge_batch(
                 cycles + len(run) * encap, len(run),
-                lambda e=entry, r=run: self._complete_tx_batch(vnic, e, r))
+                lambda e=entry, r=run, s=snap, b=nbytes:
+                    self._complete_tx_batch(vnic, e, r, s, b))
 
-    def _complete_tx_batch(self, vnic: Vnic, entry, packets) -> None:
+    def _tx_run_eligible(self, entry, fsm_snap) -> bool:
+        """May a charged TX run complete through the flow-record fast
+        path? Requires a live slot, an unmoved TCP FSM (every packet was
+        verified quiet against ``fsm_snap`` at classify time), and no
+        per-packet header work (NAT rewrite, mirroring)."""
+        if not FlowRecordStore.enabled or entry.slot < 0:
+            return False
+        if fsm_snap is not None and entry.state.tcp_state is not fsm_snap:
+            return False
+        pre = entry.pre_actions.tx
+        return pre.nat_src is None and pre.mirror_to is None
+
+    def _complete_tx_batch(self, vnic: Vnic, entry, packets,
+                           fsm_snap=None, run_bytes: int = -1) -> None:
         vs = self.vswitch
         if entry.pre_actions is None or entry.state is None:
             # Offloaded (entry demoted) while the job sat in the CPU
             # queue; the burst is lost like any in-flight packets during
             # a reconfiguration.
             vs.stats.cpu_drops += len(packets)
+            return
+        if (run_bytes >= 0 and not _spans.ACTIVE
+                and self._tx_run_eligible(entry, fsm_snap)):
+            self._complete_tx_run(vnic, entry, packets, run_bytes)
             return
         routed = []
         for packet in packets:
@@ -617,7 +798,125 @@ class LocalDatapath(Datapath):
                 action.next_hop_ip = entry.state.decap_overlay_src
                 action.next_hop_mac = None
             routed.append((packet, action))
-        vs.forward_overlay_burst(routed)
+        vs.forward_overlay_burst(routed, entry)
+
+    def _complete_tx_run(self, vnic: Vnic, entry, packets,
+                         run_bytes: int) -> None:
+        """Aggregate TX completion: the whole run is charged, counted,
+        and routed without touching per-packet state objects — flow
+        statistics land in the session table's record columns, QoS runs
+        per packet only when a rate limit is actually attached, and the
+        forward reuses the entry's encap template. Per-packet
+        observables (acl/qos/no-route traces, admitted prefixes) are
+        identical to the per-packet loop."""
+        vs = self.vswitch
+        state = entry.state
+        pre = entry.pre_actions.tx
+        n = len(packets)
+        now = vs.engine.now
+        records = vs.session_table.records
+        slot = entry.slot
+        if resolve_verdict(Direction.TX, pre, state) is Verdict.DROP:
+            vs.stats.acl_drops += n
+            for _ in range(n):
+                vs.trace.emit("pkt.acl_drop", vswitch=vs.name,
+                              direction="tx")
+            records.touch(slot, now)
+            return
+        records.charge(slot, True, n, run_bytes, state.stats_policy.value,
+                       now)
+        if (vnic.rate_limit_bps is not None
+                or pre.rate_limit_bps is not None):
+            out = [p for p in packets
+                   if _qos_admits(vs, vnic, pre, p.wire_length)]
+            if not out:
+                return
+        else:
+            out = packets
+        if vnic.stateful_decap and state.decap_overlay_src is not None:
+            next_hop_ip, next_hop_mac = state.decap_overlay_src, None
+        else:
+            next_hop_ip, next_hop_mac = pre.next_hop_ip, pre.next_hop_mac
+        if next_hop_ip is None:
+            vs.stats.no_route_drops += len(out)
+            for _ in range(len(out)):
+                vs.trace.emit("pkt.no_route", vswitch=vs.name)
+            return
+        entropy = 49152 + (out[0].five_tuple().hash() & 0x3FFF)
+        tmpl = vs.encap_template(entry, next_hop_ip,
+                                 next_hop_mac or MacAddress.broadcast(),
+                                 pre.vni, entropy)
+        vs.stats.forwarded += len(out)
+        vs.server.send_to_fabric_burst([tmpl.wrap(p) for p in out])
+
+    # -- fluid TX (FluidMode) ------------------------------------------------------
+
+    def handle_tx_run(self, vnic: Vnic, packet: Packet, count: int) -> None:
+        """Fluid TX: one template packet stands for ``count`` identical
+        packets of a long-lived flow. Eligibility mirrors
+        :meth:`_classify_run` (FULL hit, FSM-quiet) plus the flow-record
+        fast-path conditions; anything else re-materializes into the
+        burst path."""
+        vs = self.vswitch
+        entry = vs.session_table.lookup(vnic.vni, packet.five_tuple())
+        if (not Datapath.batching
+                or entry is None or entry.pre_actions is None
+                or entry.state is None or entry.slot < 0
+                or not FlowRecordStore.enabled
+                or not self._fsm_quiet(entry, Direction.TX, packet)
+                or entry.pre_actions.tx.nat_src is not None
+                or entry.pre_actions.tx.mirror_to is not None):
+            Datapath.handle_tx_run(self, vnic, packet, count)
+            return
+        vs.stats.fast_path_hits += count
+        cm = vs.cost_model
+        wire = packet.wire_length
+        cycles = count * (cm.fast_path_cycles + wire * cm.cycles_per_byte
+                          + cm.encap_cycles)
+        snap = entry.state.tcp_state
+        vs.charge_batch(
+            cycles, count,
+            lambda: self._complete_tx_fluid(vnic, entry, packet, count,
+                                            snap, wire))
+
+    def _complete_tx_fluid(self, vnic: Vnic, entry, packet: Packet,
+                           count: int, fsm_snap, wire: int) -> None:
+        vs = self.vswitch
+        if entry.pre_actions is None or entry.state is None:
+            vs.stats.cpu_drops += count
+            return
+        if not self._tx_run_eligible(entry, fsm_snap):
+            # Event boundary (FSM moved, route/policy changed) landed
+            # while the run sat in the CPU queue: re-materialize and
+            # replay the per-packet completion.
+            self._complete_tx_batch(vnic, entry,
+                                    [packet.copy() for _ in range(count)])
+            return
+        state = entry.state
+        pre = entry.pre_actions.tx
+        now = vs.engine.now
+        records = vs.session_table.records
+        if resolve_verdict(Direction.TX, pre, state) is Verdict.DROP:
+            vs.stats.acl_drops += count
+            for _ in range(count):
+                vs.trace.emit("pkt.acl_drop", vswitch=vs.name,
+                              direction="tx")
+            records.touch(entry.slot, now)
+            return
+        records.charge(entry.slot, True, count, count * wire,
+                       state.stats_policy.value, now)
+        k = count
+        if (vnic.rate_limit_bps is not None
+                or pre.rate_limit_bps is not None):
+            k = _qos_admits_run(vs, vnic, pre, wire, count)
+            if k == 0:
+                return
+        if vnic.stateful_decap and state.decap_overlay_src is not None:
+            next_hop_ip, next_hop_mac = state.decap_overlay_src, None
+        else:
+            next_hop_ip, next_hop_mac = pre.next_hop_ip, pre.next_hop_mac
+        vs.forward_overlay_run(entry, packet, k, next_hop_ip, next_hop_mac,
+                               pre.vni)
 
     def _tx_single(self, vnic: Vnic, packet: Packet) -> None:
         vs = self.vswitch
@@ -674,7 +973,7 @@ class LocalDatapath(Datapath):
         index = 0
         n = len(packets)
         while index < n:
-            entry, run, cycles, index = self._classify_run(
+            entry, run, cycles, index, snap, nbytes = self._classify_run(
                 vnic, packets, index, Direction.RX)
             if entry is None:
                 self._rx_single(vnic, packets[index - 1], overlay_src)
@@ -683,12 +982,20 @@ class LocalDatapath(Datapath):
                 entry.state.decap_overlay_src = IPv4Address(overlay_src)
             vs.charge_batch(
                 cycles, len(run),
-                lambda e=entry, r=run: self._complete_rx_batch(vnic, e, r))
+                lambda e=entry, r=run, s=snap, b=nbytes:
+                    self._complete_rx_batch(vnic, e, r, s, b))
 
-    def _complete_rx_batch(self, vnic: Vnic, entry, packets) -> None:
+    def _complete_rx_batch(self, vnic: Vnic, entry, packets,
+                           fsm_snap=None, run_bytes: int = -1) -> None:
         vs = self.vswitch
         if entry.pre_actions is None or entry.state is None:
             vs.stats.cpu_drops += len(packets)
+            return
+        if (run_bytes >= 0 and not _spans.ACTIVE
+                and FlowRecordStore.enabled and entry.slot >= 0
+                and (fsm_snap is None
+                     or entry.state.tcp_state is fsm_snap)):
+            self._complete_rx_run(vnic, entry, packets, run_bytes)
             return
         for packet in packets:
             self._advance_tcp(entry, Direction.RX, packet)
@@ -702,6 +1009,82 @@ class LocalDatapath(Datapath):
                 continue
             vs.stats.delivered += 1
             vnic.deliver(packet)
+
+    def _complete_rx_run(self, vnic: Vnic, entry, packets,
+                         run_bytes: int) -> None:
+        """Aggregate RX completion: mirror of :meth:`_complete_tx_run`
+        (the RX pipeline has no QoS or NAT stage)."""
+        vs = self.vswitch
+        state = entry.state
+        pre = entry.pre_actions.rx
+        n = len(packets)
+        now = vs.engine.now
+        records = vs.session_table.records
+        slot = entry.slot
+        if resolve_verdict(Direction.RX, pre, state) is Verdict.DROP:
+            vs.stats.acl_drops += n
+            for _ in range(n):
+                vs.trace.emit("pkt.acl_drop", vswitch=vs.name,
+                              direction="rx")
+            records.touch(slot, now)
+            return
+        records.charge(slot, False, n, run_bytes, state.stats_policy.value,
+                       now)
+        vs.stats.delivered += n
+        vnic.deliver_burst(packets)
+
+    # -- fluid RX (FluidMode) ------------------------------------------------------
+
+    def handle_rx_run(self, vnic: Vnic, packet: Packet, count: int,
+                      overlay_src: Optional[IPv4Address] = None) -> None:
+        """Fluid RX: mirror of :meth:`handle_tx_run` (no QoS/NAT stage)."""
+        vs = self.vswitch
+        entry = vs.session_table.lookup(vnic.vni, packet.five_tuple())
+        if (not Datapath.batching
+                or entry is None or entry.pre_actions is None
+                or entry.state is None or entry.slot < 0
+                or not FlowRecordStore.enabled
+                or not self._fsm_quiet(entry, Direction.RX, packet)):
+            Datapath.handle_rx_run(self, vnic, packet, count, overlay_src)
+            return
+        if vnic.stateful_decap and overlay_src is not None:
+            entry.state.decap_overlay_src = IPv4Address(overlay_src)
+        vs.stats.fast_path_hits += count
+        cm = vs.cost_model
+        wire = packet.wire_length
+        cycles = count * (cm.fast_path_cycles + wire * cm.cycles_per_byte)
+        snap = entry.state.tcp_state
+        vs.charge_batch(
+            cycles, count,
+            lambda: self._complete_rx_fluid(vnic, entry, packet, count,
+                                            snap, wire))
+
+    def _complete_rx_fluid(self, vnic: Vnic, entry, packet: Packet,
+                           count: int, fsm_snap, wire: int) -> None:
+        vs = self.vswitch
+        if entry.pre_actions is None or entry.state is None:
+            vs.stats.cpu_drops += count
+            return
+        state = entry.state
+        if (not FlowRecordStore.enabled or entry.slot < 0
+                or state.tcp_state is not fsm_snap):
+            self._complete_rx_batch(vnic, entry,
+                                    [packet.copy() for _ in range(count)])
+            return
+        pre = entry.pre_actions.rx
+        now = vs.engine.now
+        records = vs.session_table.records
+        if resolve_verdict(Direction.RX, pre, state) is Verdict.DROP:
+            vs.stats.acl_drops += count
+            for _ in range(count):
+                vs.trace.emit("pkt.acl_drop", vswitch=vs.name,
+                              direction="rx")
+            records.touch(entry.slot, now)
+            return
+        records.charge(entry.slot, False, count, count * wire,
+                       state.stats_policy.value, now)
+        vs.stats.delivered += count
+        vnic.deliver_run(packet, count)
 
     def _rx_single(self, vnic: Vnic, packet: Packet,
                    overlay_src: Optional[IPv4Address] = None) -> None:
@@ -753,6 +1136,26 @@ def _qos_admits(vs: "VSwitch", vnic: Vnic, pre, nbytes: int,
             vs.stats.qos_drops += 1
             return False
     return True
+
+
+def _qos_admits_run(vs: "VSwitch", vnic: Vnic, pre, nbytes: int, n: int,
+                    vnic_level: bool = True) -> int:
+    """Run form of :func:`_qos_admits` for ``n`` same-size packets at one
+    instant; returns the admitted prefix length. Bucket token state and
+    drop counts match ``n`` sequential per-packet calls exactly: packets
+    rejected by the vNIC-level bucket never reach the flow-level one."""
+    now = vs.engine.now
+    k = n
+    if vnic_level and vnic.rate_limit_bps is not None:
+        k = vs.qos.allow_run(vnic.vnic_id, -1, vnic.rate_limit_bps,
+                             nbytes, n, now)
+        vs.stats.qos_drops += n - k
+    if k and pre is not None and pre.rate_limit_bps is not None:
+        admitted = vs.qos.allow_run(vnic.vnic_id, pre.qos_class,
+                                    pre.rate_limit_bps, nbytes, k, now)
+        vs.stats.qos_drops += k - admitted
+        k = admitted
+    return k
 
 
 def make_standard_chain(cost_model: CostModel,

@@ -8,6 +8,7 @@ from repro.net.five_tuple import FiveTuple, PROTO_TCP
 from repro.net.packet import Packet
 from repro.net.tcp import TcpFlags
 from repro.sim.engine import Engine
+from repro.vswitch.flow_records import FluidMode
 from repro.vswitch.vnic import Vnic
 
 
@@ -65,6 +66,12 @@ class ElephantFlow:
                 self.vm.send(self.vnic, self._data_packet())
                 self.sent += 1
                 yield self.engine.timeout(gap)
+            elif FluidMode.enabled:
+                # One template packet stands in for the whole run; the
+                # datapath only materializes copies at event boundaries.
+                self.vm.send_run(self.vnic, self._data_packet(), self.burst)
+                self.sent += self.burst
+                yield self.engine.timeout(gap * self.burst)
             else:
                 pkts = [self._data_packet() for _ in range(self.burst)]
                 self.vm.send_burst(self.vnic, pkts)

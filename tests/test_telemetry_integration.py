@@ -267,8 +267,9 @@ def test_run_telemetry_overhead_shape(monkeypatch):
     from repro.bench.macro import run_telemetry_overhead
 
     entry = run_telemetry_overhead(repeats=2)
-    # off, on, then (repeats-1) more interleaved off/on runs
-    assert calls["installed"] == [False, True, False, True]
+    # untimed warm-up, then off, on, then (repeats-1) more interleaved
+    # off/on runs
+    assert calls["installed"] == [False, False, True, False, True]
     assert entry["identical_output"] is True
     assert entry["off_s"] >= 0 and entry["on_s"] >= 0
     assert entry["normalized_off"] >= 0

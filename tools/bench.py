@@ -49,6 +49,14 @@ DEFAULT_MACRO_OUTPUT = REPO_ROOT / "BENCH_experiments.json"
 SCHEMA = "bench_fastpath/v1"
 MACRO_SCHEMA = "bench_experiments/v1"
 
+# Per-bench smoke-gate overrides, recorded into the committed JSON so the
+# gate travels with the baseline. The flow-record benches headline this
+# PR's claims, so they get a tighter leash than the default 30%.
+GATE_TOLERANCES = {
+    "flow_record_hit": 0.20,
+    "fluid_fastforward": 0.20,
+}
+
 
 def _git_commit() -> str:
     """Commit hash the numbers were generated at (None outside a work
@@ -85,24 +93,26 @@ def check_regressions(current: dict, baseline_doc: dict,
     """Compare a fresh run against the committed baseline; returns a list
     of human-readable failures (empty = pass)."""
     failures = []
-    floor = 1.0 - tolerance
     for name, base in baseline_doc.get("benches", {}).items():
         entry = current.get(name)
         if entry is None:
             failures.append(f"{name}: bench disappeared from the suite")
             continue
+        # A baseline entry may carry its own, usually tighter, gate.
+        bench_tol = base.get("gate_tolerance", tolerance)
+        floor = 1.0 - bench_tol
         if base.get("speedup") is not None:
             if entry["speedup"] is None:
                 failures.append(f"{name}: lost its legacy twin")
             elif entry["speedup"] < base["speedup"] * floor:
                 failures.append(
                     f"{name}: speedup {entry['speedup']:.2f}x fell >"
-                    f"{tolerance:.0%} below baseline {base['speedup']:.2f}x")
+                    f"{bench_tol:.0%} below baseline {base['speedup']:.2f}x")
         else:
             if entry["normalized"] < base["normalized"] * floor:
                 failures.append(
                     f"{name}: normalized throughput {entry['normalized']:.5f}"
-                    f" fell >{tolerance:.0%} below baseline "
+                    f" fell >{bench_tol:.0%} below baseline "
                     f"{base['normalized']:.5f}")
     return failures
 
@@ -167,11 +177,13 @@ def run_telemetry_mode(args) -> int:
     committed BENCH_fastpath.json (leaving the micro benches alone).
     With ``--smoke``: gates against that block — the tracing-off wall
     clock (calibration-normalized, so it transfers across machines) may
-    not regress more than ``--tolerance`` (default 2% here), and the
+    not regress more than ``--tolerance`` (default 10% here — single
+    macro runs swing several percent on small shared boxes even with
+    the warm-up and best-of-N sampling in the measurement), and the
     telemetry-on run must render a byte-identical result table.
     """
-    tolerance = 0.02 if args.tolerance is None else args.tolerance
-    repeats = 1 if args.smoke else 3
+    tolerance = 0.10 if args.tolerance is None else args.tolerance
+    repeats = 2 if args.smoke else 3
     entry = run_telemetry_overhead(repeats=repeats)
     print(f"fig9 (quick):  telemetry off {entry['off_s']:.2f}s  "
           f"on {entry['on_s']:.2f}s  "
@@ -227,7 +239,7 @@ def main(argv=None) -> int:
                              "telemetry stack installed vs not; merges a "
                              "telemetry_overhead block into "
                              "BENCH_fastpath.json (with --smoke: gate "
-                             "only, default tolerance 2%%)")
+                             "only, default tolerance 10%%)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for --experiments "
                              "(default: one per CPU core)")
@@ -248,7 +260,7 @@ def main(argv=None) -> int:
                              "(default: 0.25, or 0.05 with --smoke)")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression for --smoke "
-                             "(default: 0.30, or 0.02 with --telemetry)")
+                             "(default: 0.30, or 0.10 with --telemetry)")
     args = parser.parse_args(argv)
 
     if args.experiments:
@@ -281,6 +293,9 @@ def main(argv=None) -> int:
         return 0
 
     calibration = results.pop("_calibration_ops_per_sec")
+    for name, tol in GATE_TOLERANCES.items():
+        if name in results:
+            results[name]["gate_tolerance"] = tol
     doc = {
         "schema": SCHEMA,
         "config": {

@@ -1,0 +1,124 @@
+"""Fleet-scale wall-clock and peak-memory benchmarks (BENCH_fleet.json).
+
+Each scale point runs the ``fleet`` experiment twice: once untraced for
+an honest wall clock, once under :mod:`tracemalloc` for the peak-memory
+high-water mark. The headline number is ``peak_over_naive``: measured
+peak divided by what the same live-flow population would cost as *naive
+per-object sessions* — one boxed
+:class:`~repro.vswitch.state.SessionState` per flow in a dict, the
+representation the flyweight store replaces. The per-object cost is
+itself measured (tracemalloc over a sampled allocation, extrapolated),
+not assumed, and deliberately conservative: the real naive layout would
+also pay for a FiveTuple key object per flow.
+
+The ISSUE 7 acceptance bar — peak at 10K vSwitches ≤ 25% of naive — is
+checked by the full run and recorded in the JSON; the CI smoke re-runs
+the reduced scale point and gates its peak against the committed
+baseline (``gate_tolerance`` travels in the JSON, the
+BENCH_fastpath.json idiom).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Dict, Optional
+
+#: Scale points for the tracked full run.
+SCALES = (1_000, 10_000)
+#: The reduced scale the CI fleet-smoke job re-measures.
+SMOKE_SCALE = 500
+SMOKE_SHARDS = 2
+#: Smoke-gate slack on peak memory: at 500 vSwitches fixed overheads
+#: (imports, code objects, the hot micro-sims' engines) are a large
+#: share of a small peak, so the gate is loose; the ratio bar is what
+#: the full 10K run enforces.
+SMOKE_GATE_TOLERANCE = 0.50
+#: ISSUE 7 acceptance bar, recorded with every full-scale entry.
+NAIVE_RATIO_CEILING = 0.25
+
+
+def measure_naive_bytes_per_flow(sample: int = 20_000) -> float:
+    """Measured cost of one flow as a boxed SessionState in a dict."""
+    from repro.vswitch.state import SessionState
+    tracemalloc.start()
+    try:
+        before, _peak = tracemalloc.get_traced_memory()
+        table = {index: SessionState() for index in range(sample)}
+        after, _peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    del table
+    return (after - before) / sample
+
+
+def run_fleet_point(n_vswitches: int, epochs: int = 3, seed: int = 0,
+                    shards: int = 1,
+                    measure_wall: bool = True) -> Dict[str, object]:
+    """One scale point: wall clock (untraced) + tracemalloc peak."""
+    from repro.experiments.fleet import run
+
+    kwargs = dict(n_vswitches=n_vswitches, epochs=epochs, seed=seed,
+                  shards=shards, jobs=1)
+    naive_per_flow = measure_naive_bytes_per_flow()
+
+    wall_s: Optional[float] = None
+    if measure_wall:
+        started = time.perf_counter()
+        run(**kwargs)
+        wall_s = time.perf_counter() - started
+
+    tracemalloc.start()
+    try:
+        result = run(**kwargs)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    live_flows = result.row_where("metric", "live flows")["value"]
+    naive_bytes = live_flows * naive_per_flow
+    return {
+        "n_vswitches": n_vswitches,
+        "epochs": epochs,
+        "wall_s": round(wall_s, 3) if wall_s is not None else None,
+        "peak_mb": round(peak / 1e6, 3),
+        "live_flows": live_flows,
+        "naive_bytes_per_flow": round(naive_per_flow, 1),
+        "naive_mb": round(naive_bytes / 1e6, 3),
+        "peak_over_naive": round(peak / naive_bytes, 4) if naive_bytes
+        else None,
+        "rows": len(result.rows),
+    }
+
+
+def run_fleet_suite(epochs: int = 3, seed: int = 0) -> Dict[str, Dict]:
+    """The tracked full run: every scale point plus the smoke point."""
+    entries: Dict[str, Dict] = {}
+    smoke = run_fleet_point(SMOKE_SCALE, epochs=epochs, seed=seed)
+    smoke["gate_tolerance"] = SMOKE_GATE_TOLERANCE
+    entries["smoke"] = smoke
+    for scale in SCALES:
+        entry = run_fleet_point(scale, epochs=epochs, seed=seed)
+        entry["naive_ratio_ceiling"] = NAIVE_RATIO_CEILING
+        entries[f"scale_{scale}"] = entry
+    return entries
+
+
+def run_fleet_smoke(epochs: int = 3, seed: int = 0) -> Dict[str, object]:
+    """The CI check: shard-count identity + the smoke-scale memory point.
+
+    Runs the reduced fleet with ``shards=1`` and ``shards=SMOKE_SHARDS``
+    and byte-compares the rendered tables (the determinism contract),
+    then measures the smoke point's peak for the caller to gate against
+    the committed baseline.
+    """
+    from repro.experiments.fleet import run
+
+    base = run(n_vswitches=SMOKE_SCALE, epochs=epochs, seed=seed,
+               shards=1, jobs=1).to_text()
+    sharded = run(n_vswitches=SMOKE_SCALE, epochs=epochs, seed=seed,
+                  shards=SMOKE_SHARDS, jobs=1).to_text()
+    entry = run_fleet_point(SMOKE_SCALE, epochs=epochs, seed=seed,
+                            measure_wall=False)
+    entry["identical_across_shards"] = base == sharded
+    return entry

@@ -69,6 +69,11 @@ MACRO_BENCHES: List[MacroBench] = [
         "chaos",
         quick_kwargs=dict(horizon=4.0, settle=2.5),
         full_kwargs=dict()),
+    MacroBench(
+        "fleet", "sharded fleet epochs, hot/cold split (400 vSwitches "
+        "in quick mode)", "fleet",
+        quick_kwargs=dict(n_vswitches=400, epochs=2),
+        full_kwargs=dict()),
 ]
 
 # ``all --fast`` exercises the runner-level fan-out: whole experiments

@@ -35,6 +35,18 @@ from repro.sim.rng import derive_seed
 P = TypeVar("P")
 R = TypeVar("R")
 
+#: True inside a sweep() pool worker. A worker that itself calls sweep()
+#: (e.g. the fleet experiment running under ``all --jobs N``, or a fleet
+#: shard step that fans out again) must not open a nested pool — the
+#: outer pool already owns the cores, and nested executors can deadlock
+#: on fork. :func:`resolve_jobs` serializes instead.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
 
 def default_jobs() -> int:
     """The CLI default: one worker per available CPU core."""
@@ -45,8 +57,13 @@ def resolve_jobs(jobs: Optional[int], n_points: int) -> int:
     """Clamp a requested worker count to something sensible.
 
     ``None`` means "use every core"; a pool larger than the number of
-    points only costs fork overhead, so it is trimmed.
+    points only costs fork overhead, so it is trimmed. Inside a pool
+    worker the answer is always 1: nested sweeps run in-process (the
+    deterministic merge makes this a pure perf decision, not a results
+    one).
     """
+    if _IN_WORKER:
+        return 1
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
@@ -72,7 +89,8 @@ def sweep(points: Iterable[P], worker: Callable[[P], R],
     n_jobs = resolve_jobs(jobs, len(point_list))
     if n_jobs == 1:
         return [worker(point) for point in point_list]
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+    with ProcessPoolExecutor(max_workers=n_jobs,
+                             initializer=_mark_worker) as pool:
         futures = [pool.submit(worker, point) for point in point_list]
         # future.result() in submission order IS the deterministic merge.
         return [future.result() for future in futures]

@@ -34,7 +34,7 @@ from repro.experiments.parallel import default_jobs, sweep
 FAST_EXPERIMENTS = ["fig3", "fig4", "table1", "table3", "table4", "table5",
                     "fig13", "fig15", "tablea1", "figa1", "appb2"]
 SLOW_EXPERIMENTS = ["fig2", "fig9", "fig10", "fig11", "fig12", "fig14",
-                    "chaos"]
+                    "chaos", "fleet"]
 ALL_EXPERIMENTS = FAST_EXPERIMENTS + SLOW_EXPERIMENTS
 
 
@@ -52,13 +52,17 @@ def _quick_kwargs(name: str) -> dict:
     return {}
 
 
-def _run_kwargs(run_fn, seed: int, jobs: int) -> dict:
+def _run_kwargs(run_fn, seed: int, jobs: int,
+                shards: Optional[int] = None) -> dict:
     """Keyword arguments ``run_fn`` actually accepts.
 
     Inspects the signature's *parameters* — the old
     ``"seed" in run.__code__.co_varnames`` check also matched local
     variables, so a seedless ``run`` with a ``seed`` local would have
-    been called with an unexpected keyword.
+    been called with an unexpected keyword. ``shards`` is forwarded only
+    when the experiment takes it (today: fleet) *and* the user asked for
+    a specific count; ``None`` keeps the experiment's own default
+    (fleet matches shards to jobs).
     """
     params = inspect.signature(run_fn).parameters
     kwargs = {}
@@ -66,14 +70,16 @@ def _run_kwargs(run_fn, seed: int, jobs: int) -> dict:
         kwargs["seed"] = seed
     if "jobs" in params:
         kwargs["jobs"] = jobs
+    if "shards" in params and shards is not None:
+        kwargs["shards"] = shards
     return kwargs
 
 
 def run_experiment(name: str, seed: int = 0, jobs: int = 1,
-                   fast: bool = False):
+                   fast: bool = False, shards: Optional[int] = None):
     """Import and execute one experiment; returns (result, elapsed_s)."""
     module = importlib.import_module(f"repro.experiments.{name}")
-    kwargs = _run_kwargs(module.run, seed, jobs)
+    kwargs = _run_kwargs(module.run, seed, jobs, shards)
     if fast:
         kwargs.update(_quick_kwargs(name))
     started = time.perf_counter()
@@ -82,8 +88,9 @@ def run_experiment(name: str, seed: int = 0, jobs: int = 1,
 
 
 def run_one(name: str, seed: int = 0, jobs: int = 1,
-            fast: bool = False) -> None:
-    result, elapsed = run_experiment(name, seed, jobs, fast=fast)
+            fast: bool = False, shards: Optional[int] = None) -> None:
+    result, elapsed = run_experiment(name, seed, jobs, fast=fast,
+                                     shards=shards)
     print(result.to_text())
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
@@ -125,6 +132,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: one per CPU core; "
                              "1 = sequential in-process)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="fleet experiment only: partition the vSwitch "
+                             "range into N shards (default: match --jobs); "
+                             "output is byte-identical for every N")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record telemetry (metrics, latency spans, "
                              "unified trace, engine profile) and export it "
@@ -135,6 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     jobs = default_jobs() if args.jobs is None else args.jobs
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
     if args.experiment == "list":
         print("model-based (seconds):", ", ".join(FAST_EXPERIMENTS))
@@ -155,7 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         else:
-            run_one(args.experiment, args.seed, jobs, fast=args.fast)
+            run_one(args.experiment, args.seed, jobs, fast=args.fast,
+                    shards=args.shards)
         if tel is not None:
             lines = tel.export(args.telemetry)
             print(f"[telemetry: {lines} lines -> {args.telemetry}]")

@@ -1,0 +1,119 @@
+"""The fleet's shared-FE-pool coordinator.
+
+The only cross-shard coupling in the fleet simulation: shards report
+per-epoch FE demand (the hot lists), the coordinator allocates pool
+capacity and the resulting grants feed back into the *next* epoch's
+shard calls — a granted hotspot retains only its capacity's worth of
+traffic, so its micro-sim measurably de-saturates (§6 feedback loop).
+
+Determinism contract: :meth:`FleetCoordinator.settle` consumes reports
+in shard-submission order (= ascending global index, since shard ranges
+are contiguous) and settles renewals before new requests, each in
+ascending vSwitch index. Nothing depends on shard count. Activation
+draws use ``derive_seed(seed, f"fleet/act/e{epoch}/vs{index}")`` — keyed
+on the global index, drawn only for *newly granted* vSwitches, whose set
+is itself shard-invariant.
+
+Allocation policy (mirrors the controller's all-or-nothing placement,
+§6.3.2): a hotspot gets its full requested unit count or nothing;
+renewals are served first so an active offload is never evicted by a
+newcomer mid-overload; grants are released the first epoch the holder
+stops requesting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.controller.latency import ControlLatencyModel
+from repro.experiments.fig13 import activation_sampler
+from repro.sim.rng import SeededRng, derive_seed
+from repro.workloads.fleet import HotspotKind
+
+
+class FleetCoordinator:
+    """Allocates the shared FE pool and scores mitigation per epoch."""
+
+    def __init__(self, seed: int, pool_units: int,
+                 survivable_window: float = 3.6,
+                 latency: ControlLatencyModel = None) -> None:
+        self.seed = seed
+        self.pool_units = pool_units
+        self.survivable_window = survivable_window
+        self._sample_activation = activation_sampler(
+            latency or ControlLatencyModel())
+        #: global vSwitch index -> granted FE units (active offloads)
+        self.grants: Dict[int, int] = {}
+        #: per-kind (occurrences, residual) accumulated across epochs
+        self.overloads: Dict[HotspotKind, List[int]] = {
+            kind: [0, 0] for kind in HotspotKind}
+        #: per-epoch pool utilization after settling, in [0, 1]
+        self.utilization: List[float] = []
+        self.denied_requests = 0
+
+    def units_in_use(self) -> int:
+        return sum(self.grants.values())
+
+    def settle(self, epoch: int, reports: List[Dict[str, object]]
+               ) -> Dict[int, int]:
+        """Fold one epoch's shard reports into grants and accounting.
+
+        ``reports`` must be in shard-submission order (ascending ranges);
+        returns the grants map to feed into the next epoch's shard calls.
+        """
+        requests: List[Tuple[int, int, List[str]]] = []
+        for report in reports:
+            for entry in report["hot"]:
+                requests.append((entry["index"], entry["units"],
+                                 entry["kinds"]))
+        requesting = {index for index, _u, _k in requests}
+
+        # Release grants whose holder went quiet (ascending index for a
+        # deterministic free-pool trajectory, though release commutes).
+        for index in sorted(self.grants):
+            if index not in requesting:
+                del self.grants[index]
+
+        # Renewals first — an active offload keeps its capacity — then
+        # new requests, both in ascending global index.
+        free = self.pool_units - self.units_in_use()
+        newly_granted = set()
+        for renewal_pass in (True, False):
+            for index, units, _kinds in requests:
+                held = index in self.grants
+                if held is not renewal_pass:
+                    continue
+                if held:
+                    continue  # renewal: capacity already reserved
+                if units <= free:
+                    self.grants[index] = units
+                    newly_granted.add(index)
+                    free -= units
+                else:
+                    self.denied_requests += 1
+
+        # Mitigation accounting (fig13 semantics, one decision per kind):
+        # denied -> residual; #vNIC overloads and renewals are mitigated
+        # outright (rule tables live on the FEs already / offload is
+        # active); a fresh grant mitigates only if activation lands
+        # inside the survivable window.
+        for index, _units, kinds in requests:
+            if index in newly_granted:
+                rng = SeededRng(
+                    derive_seed(self.seed, f"fleet/act/e{epoch}/vs{index}"),
+                    "act")
+                activation = self._sample_activation(rng)
+                activated = activation <= self.survivable_window
+            for kind_value in kinds:
+                kind = HotspotKind(kind_value)
+                counters = self.overloads[kind]
+                counters[0] += 1
+                if index not in self.grants:
+                    counters[1] += 1          # denied: overload stands
+                elif kind is HotspotKind.VNICS:
+                    pass                      # §6.3.3: always mitigated
+                elif index in newly_granted and not activated:
+                    counters[1] += 1          # activated too late
+        self.utilization.append(self.units_in_use() / self.pool_units
+                                if self.pool_units else 0.0)
+        return dict(self.grants)

@@ -1,0 +1,124 @@
+"""Flyweight records for the fleet's quiescent ("cold") flows.
+
+At 10K vSwitches the fleet holds millions of concurrent connections,
+nearly all of them on vSwitches far below their capacity. Boxing each as
+a :class:`~repro.vswitch.state.SessionState` (plus a key object and a
+table entry) costs hundreds of bytes per flow — gigabytes fleet-wide —
+for state that is only ever *accumulated into*, never branched on.
+
+:class:`FleetFlowStore` generalizes the
+:class:`~repro.vswitch.flow_records.FlowRecordStore` idea one level up:
+per-flow packet/byte counters live in parallel stdlib ``array`` columns
+(16 bytes per flow), slots are claimed in bulk blocks, and — the fleet
+twist — epoch traffic is *not* written per flow at all. Each vSwitch
+carries two pending integers (packets, bytes) that the shard advances
+per epoch in O(1); the per-flow columns are touched only at flow churn
+(bounded per epoch) and at the final *materialization boundary*, where
+:meth:`fold` distributes the pending aggregate uniformly across the
+vSwitch's live slots with exact integer remainder bookkeeping — the same
+flush-at-boundary discipline DESIGN.md §5.5 established for the hot
+datapath.
+
+Nothing output-visible may depend on slot numbering: freed slots are
+recycled across vSwitches within a shard, so slot ids differ between
+shard layouts while every folded total is identical.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Tuple
+
+#: Bytes per flow held in the store's columns (two ``'q'`` counters).
+BYTES_PER_FLOW = 16
+#: Bytes per flow for the owner's slot index (one ``'l'`` entry).
+BYTES_PER_SLOT_REF = 8
+
+
+class FleetFlowStore:
+    """Struct-of-arrays flow counters for one shard's vSwitch range."""
+
+    __slots__ = ("packets", "bytes", "_free")
+
+    def __init__(self) -> None:
+        self.packets = array("q")
+        self.bytes = array("q")
+        self._free = array("l")
+
+    def __len__(self) -> int:
+        """Live slots (allocated minus freed)."""
+        return len(self.packets) - len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        """Slots ever allocated (the memory high-water mark)."""
+        return len(self.packets)
+
+    def nbytes(self) -> int:
+        """Payload bytes held by the columns and the free list."""
+        return (self.packets.itemsize * len(self.packets)
+                + self.bytes.itemsize * len(self.bytes)
+                + self._free.itemsize * len(self._free))
+
+    # -- slot lifecycle -----------------------------------------------------
+
+    def _grow(self, n: int) -> int:
+        """Append ``n`` zeroed slots in one C-level extension; returns the
+        first new slot index."""
+        start = len(self.packets)
+        zeros = array("q", bytes(8 * n))
+        self.packets.extend(zeros)
+        self.bytes.extend(zeros)
+        return start
+
+    def alloc_block(self, n: int) -> "array[int]":
+        """Claim ``n`` zeroed slots — recycled ones first, then one bulk
+        extension for the rest."""
+        slots = array("l")
+        if n <= 0:
+            return slots
+        free = self._free
+        take = min(n, len(free))
+        if take:
+            slots.extend(free[len(free) - take:])
+            del free[len(free) - take:]
+            packets, nbytes = self.packets, self.bytes
+            for slot in slots:
+                packets[slot] = 0
+                nbytes[slot] = 0
+        rest = n - take
+        if rest:
+            start = self._grow(rest)
+            slots.extend(array("l", range(start, start + rest)))
+        return slots
+
+    def free_block(self, slots: Iterable[int]) -> None:
+        """Return slots to the free list (counters left in place: a dead
+        flow's folded history is part of the fleet totals)."""
+        self._free.extend(slots)
+
+    # -- materialization ----------------------------------------------------
+
+    def fold(self, slots: "array[int]", pending_packets: int,
+             pending_bytes: int) -> Tuple[int, int]:
+        """Distribute one vSwitch's pending epoch aggregate over its live
+        slots: every slot gets the integer share, the first
+        ``remainder`` slots get one extra — exact by construction, and
+        independent of which physical slot ids the vSwitch holds.
+        Returns the (packets, bytes) actually folded; with no live slots
+        the pending amounts stay with the caller."""
+        n = len(slots)
+        if n == 0 or (pending_packets == 0 and pending_bytes == 0):
+            return (0, 0)
+        per_pkts, rem_pkts = divmod(pending_packets, n)
+        per_bytes, rem_bytes = divmod(pending_bytes, n)
+        packets, nbytes = self.packets, self.bytes
+        for i, slot in enumerate(slots):
+            packets[slot] += per_pkts + (1 if i < rem_pkts else 0)
+            nbytes[slot] += per_bytes + (1 if i < rem_bytes else 0)
+        return (pending_packets, pending_bytes)
+
+    def totals(self) -> Tuple[int, int]:
+        """Sum of every slot's counters (dead slots included: they hold
+        their folded history until recycled)."""
+        return (sum(self.packets), sum(self.bytes))

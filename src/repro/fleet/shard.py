@@ -1,0 +1,257 @@
+"""One shard of the fleet: a contiguous vSwitch range and its epoch step.
+
+The fleet runner partitions the global vSwitch index space ``0..n-1``
+into contiguous per-shard ranges. Each epoch, every shard advances its
+range independently — cold vSwitches fluidly against flyweight records,
+hot ones through a per-packet micro-sim — and returns a plain-data
+*report* the coordinator folds into pool decisions.
+
+Everything a vSwitch does is keyed on its **global index**, never on its
+shard-local position:
+
+* its demand stream is ``SeededRng(vswitch_seed(seed, g), f"e{epoch}")``
+  — three uniforms per epoch (cps, flows, vnics), the
+  ``FleetModel.sample_demands`` draw order;
+* its hot micro-sim seed is ``derive_seed(seed, f"fleet/hot/e{e}/vs{g}")``.
+
+So the numbers a vSwitch produces cannot depend on how many shards the
+fleet was split into, and because shard ranges are contiguous and
+ascending — and ``sweep()`` merges in submission order — concatenating
+per-shard hot lists yields a globally index-ascending list for every
+shard count. Cold-side aggregates are integers, which commute. That is
+the whole shard-count-invariance argument (DESIGN §5.6).
+
+:func:`run_shard_epoch` is a top-level function over one picklable
+tuple, the :func:`repro.experiments.parallel.sweep` point contract; the
+:class:`ShardState` it threads through is arrays all the way down, so
+the round-trip through a pool worker is cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.rng import SeededRng, derive_seed
+from repro.workloads.fleet import (FleetCapacity, HotspotKind, VSwitchDemand,
+                                   usage_dist)
+
+from .flyweight import FleetFlowStore
+from .hotsim import simulate_hot_epoch
+
+
+@dataclass(frozen=True)
+class FleetParams:
+    """Immutable fleet-run configuration, shipped to every worker."""
+
+    seed: int = 0
+    n_vswitches: int = 10_000
+    #: Concurrent flows held by a vSwitch at normalized demand 1.0 (the
+    #: P9999 user of Table 1). The fleet median lands near 160 flows per
+    #: vSwitch, ~2.6M live flows at 10K vSwitches.
+    flows_per_unit: int = 20_000
+    #: Per-epoch bound on flow births/deaths per vSwitch (epoch 0 seeds
+    #: the full target population). Keeps churn work O(1) per epoch.
+    churn_cap: int = 32
+    #: New connections per epoch at normalized CPS demand 1.0, and the
+    #: fluid per-connection traffic shape.
+    conns_per_unit: int = 50_000
+    pkts_per_conn: int = 6
+    avg_pkt_bytes: int = 800
+    #: Simulated seconds of per-packet traffic for each hot vSwitch.
+    hot_sim_duration: float = 0.2
+    capacity: FleetCapacity = field(default_factory=FleetCapacity)
+
+    def __post_init__(self) -> None:
+        if self.n_vswitches < 1:
+            raise ConfigError("n_vswitches must be >= 1")
+        if self.churn_cap < 1:
+            raise ConfigError("churn_cap must be >= 1")
+
+
+def vswitch_seed(seed: int, index: int) -> int:
+    """The global-index-keyed seed every vSwitch stream derives from."""
+    return derive_seed(seed, f"fleet/vs{index}")
+
+
+def partition(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` ranges covering ``0..n-1`` in order.
+
+    The first ``n % shards`` ranges hold one extra vSwitch, so sizes
+    differ by at most one and concatenating ranges in shard order walks
+    the global index space ascending.
+    """
+    if shards < 1:
+        raise ConfigError("shards must be >= 1")
+    shards = min(shards, n) or 1
+    base, extra = divmod(n, shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class ShardState:
+    """Per-shard persistent state threaded through the epochs.
+
+    Pickle-friendly by construction: the flyweight store and the
+    per-vSwitch slot blocks are stdlib arrays, the pending accumulators
+    plain int lists. One instance round-trips coordinator → worker →
+    coordinator every epoch when the fleet runs sharded; with
+    ``shards=1``/``jobs=1`` it is mutated in place (the legacy path).
+    """
+
+    __slots__ = ("lo", "hi", "store", "slots", "pending_pkts",
+                 "pending_bytes")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.store = FleetFlowStore()
+        n = hi - lo
+        self.slots: List["array[int]"] = [array("l") for _ in range(n)]
+        self.pending_pkts: List[int] = [0] * n
+        self.pending_bytes: List[int] = [0] * n
+
+    def __getstate__(self):
+        return (self.lo, self.hi, self.store, self.slots,
+                self.pending_pkts, self.pending_bytes)
+
+    def __setstate__(self, state) -> None:
+        (self.lo, self.hi, self.store, self.slots,
+         self.pending_pkts, self.pending_bytes) = state
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def live_flows(self) -> int:
+        return len(self.store)
+
+    def nbytes(self) -> int:
+        """Flyweight payload bytes: store columns + per-vSwitch slot refs."""
+        refs = sum(block.itemsize * len(block) for block in self.slots)
+        return self.store.nbytes() + refs
+
+    def materialize(self) -> Tuple[int, int]:
+        """Fold every vSwitch's pending aggregate into its flow slots —
+        the end-of-run materialization boundary. Returns the shard's
+        total (packets, bytes) including any unfoldable remainder from
+        vSwitches that ended with zero live flows."""
+        store = self.store
+        total_pkts = sum(self.pending_pkts)
+        total_bytes = sum(self.pending_bytes)
+        for i, block in enumerate(self.slots):
+            folded = store.fold(block, self.pending_pkts[i],
+                                self.pending_bytes[i])
+            if folded != (0, 0):
+                self.pending_pkts[i] = 0
+                self.pending_bytes[i] = 0
+        return total_pkts, total_bytes
+
+
+def make_shards(params: FleetParams, shards: int) -> List[ShardState]:
+    return [ShardState(lo, hi)
+            for lo, hi in partition(params.n_vswitches, shards)]
+
+
+def _epoch_demand(seed: int, index: int, epoch: int,
+                  dists) -> VSwitchDemand:
+    """One vSwitch's demand redraw for one epoch: three uniforms in the
+    cps/flows/vnics order ``FleetModel.sample_demands`` established."""
+    rng = SeededRng(vswitch_seed(seed, index), f"e{epoch}")
+    cps_dist, flows_dist, vnics_dist = dists
+    return VSwitchDemand(cps=cps_dist._invert(rng.random()),
+                         flows=flows_dist._invert(rng.random()),
+                         vnics=vnics_dist._invert(rng.random()))
+
+
+def demand_units(demand: VSwitchDemand, capacity: FleetCapacity) -> int:
+    """FE units a hot vSwitch requests: enough extra capacity to cover
+    its worst kind's excess over the BE (one unit = one BE's worth)."""
+    ratio = max(demand.cps / capacity.cps,
+                demand.flows / capacity.flows,
+                demand.vnics / capacity.vnics)
+    return max(1, math.ceil(ratio) - 1)
+
+
+def run_shard_epoch(point) -> Tuple[ShardState, Dict[str, object]]:
+    """Advance one shard one epoch; the ``sweep()`` point function.
+
+    ``point`` is ``(state, epoch, grants, params)`` where ``grants`` maps
+    the global indices holding an active FE grant (decided by the
+    coordinator from the *previous* epoch's reports) to their unit
+    counts. Returns the advanced state plus a plain-data report:
+    integer-only cold aggregates and an index-ascending hot list.
+    """
+    state, epoch, grants, params = point
+    dists = (usage_dist("cps"), usage_dist("flows"), usage_dist("vnics"))
+    capacity = params.capacity
+    store = state.store
+    churn_cap = params.churn_cap
+    cold = {"count": 0, "flows": 0, "pkts": 0, "bytes": 0,
+            "born": 0, "died": 0}
+    hot: List[Dict[str, object]] = []
+
+    for i in range(state.hi - state.lo):
+        g = state.lo + i
+        demand = _epoch_demand(params.seed, g, epoch, dists)
+
+        # -- flow churn toward this epoch's target population ----------
+        target = int(demand.flows * params.flows_per_unit)
+        block = state.slots[i]
+        delta = target - len(block)
+        if delta > 0:
+            born = delta if epoch == 0 else min(delta, churn_cap)
+            block.extend(store.alloc_block(born))
+            cold["born"] += born
+        elif delta < 0:
+            died = min(-delta, churn_cap)
+            # Fold what the dying flows have pending before they leave:
+            # their history is part of the fleet totals either way, but
+            # folding first keeps the per-slot shares exact.
+            doomed = block[len(block) - died:]
+            del block[len(block) - died:]
+            store.free_block(doomed)
+            cold["died"] += died
+
+        # -- fluid traffic: two pending ints, O(1) per epoch -----------
+        pkts = int(demand.cps * params.conns_per_unit) * params.pkts_per_conn
+        nbytes = pkts * params.avg_pkt_bytes
+        state.pending_pkts[i] += pkts
+        state.pending_bytes[i] += nbytes
+
+        kinds = demand.hotspots(capacity)
+        if kinds:
+            granted = g in grants
+            ratio = max(demand.cps / capacity.cps,
+                        demand.flows / capacity.flows,
+                        demand.vnics / capacity.vnics)
+            sim = simulate_hot_epoch(
+                seed=derive_seed(params.seed, f"fleet/hot/e{epoch}/vs{g}"),
+                demand_ratio=ratio, granted=granted,
+                duration=params.hot_sim_duration)
+            entry: Dict[str, object] = {
+                "index": g,
+                "kinds": [kind.value for kind in kinds],
+                "units": demand_units(demand, capacity),
+                "flows": len(block),
+                "pkts": pkts,
+                "bytes": nbytes,
+            }
+            entry.update(sim)
+            hot.append(entry)
+        else:
+            cold["count"] += 1
+            cold["flows"] += len(block)
+            cold["pkts"] += pkts
+            cold["bytes"] += nbytes
+
+    report: Dict[str, object] = {"epoch": epoch, "lo": state.lo,
+                                 "hi": state.hi, "cold": cold, "hot": hot}
+    return state, report

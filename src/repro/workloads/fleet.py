@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -46,25 +47,52 @@ class QuantileDistribution:
         if values[0] <= 0:
             raise ConfigError("values must be positive (log interpolation)")
         self.anchors = list(anchors)
+        # Hot-path precomputation: anchor quantiles for bisection plus
+        # their value logs, so inversion is one bisect + one exp instead
+        # of a pair-by-pair scan with two log() calls.
+        self._qs = [q for q, _v in self.anchors]
+        self._logs = [math.log(v) for _q, v in self.anchors]
+        self._mean_cache: Dict[int, float] = {}
+
+    def _invert(self, q: float) -> float:
+        """Inverse CDF for an in-range ``q`` — exactly the expression the
+        pair-scan used, so results are bit-identical."""
+        j = bisect_left(self._qs, q, 1)
+        if j >= len(self._qs):
+            return self.anchors[-1][1]
+        q0, q1 = self._qs[j - 1], self._qs[j]
+        if q1 == q0:
+            return self.anchors[j][1]
+        frac = (q - q0) / (q1 - q0)
+        return math.exp(self._logs[j - 1] * (1 - frac)
+                        + self._logs[j] * frac)
 
     def quantile(self, q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"q out of range: {q}")
-        for (q0, v0), (q1, v1) in zip(self.anchors, self.anchors[1:]):
-            if q <= q1:
-                if q1 == q0:
-                    return v1
-                frac = (q - q0) / (q1 - q0)
-                return math.exp(math.log(v0) * (1 - frac)
-                                + math.log(v1) * frac)
-        return self.anchors[-1][1]
+        return self._invert(q)
 
     def sample(self, rng: SeededRng) -> float:
-        return self.quantile(rng.random())
+        return self._invert(rng.random())
+
+    def sample_n(self, rng: SeededRng, n: int) -> List[float]:
+        """``n`` draws in one call: identical stream consumption (one
+        uniform per draw, in order) and identical values to ``n``
+        repeated :meth:`sample` calls, but without per-draw method
+        dispatch — the fleet runner samples 10K+ vSwitches per epoch."""
+        rnd = rng.random
+        invert = self._invert
+        return [invert(rnd()) for _ in range(n)]
 
     def mean_estimate(self, n: int = 20000) -> float:
-        """Numerical mean via uniform quantile sweep."""
-        return sum(self.quantile((i + 0.5) / n) for i in range(n)) / n
+        """Numerical mean via uniform quantile sweep (cached per ``n``:
+        the sweep re-drew 20K quantiles on every call)."""
+        cached = self._mean_cache.get(n)
+        if cached is None:
+            invert = self._invert
+            cached = sum(invert((i + 0.5) / n) for i in range(n)) / n
+            self._mean_cache[n] = cached
+        return cached
 
 
 # -- paper-anchored distributions -----------------------------------------------
@@ -172,20 +200,22 @@ class FleetModel:
     def sample_usage(self, metric: HotspotKind,
                      n: Optional[int] = None) -> List[float]:
         rng = self.rng.child(f"usage-{metric.value}")
-        dist = self.usage[metric]
-        return [dist.sample(rng) for _ in range(n or self.n)]
+        return self.usage[metric].sample_n(rng, n or self.n)
 
     # -- Fig 3 -----------------------------------------------------------------------
 
     def sample_demands(self, n: Optional[int] = None) -> List[VSwitchDemand]:
+        # One uniform per (vSwitch, metric), interleaved cps/flows/vnics —
+        # the historical per-sample draw order, so the stream (and every
+        # downstream experiment) is unchanged by the vectorization.
         rng = self.rng.child("demand")
-        out = []
-        for _ in range(n or self.n):
-            out.append(VSwitchDemand(
-                cps=self.usage[HotspotKind.CPS].sample(rng),
-                flows=self.usage[HotspotKind.FLOWS].sample(rng),
-                vnics=self.usage[HotspotKind.VNICS].sample(rng)))
-        return out
+        rnd = rng.random
+        cps = self.usage[HotspotKind.CPS]._invert
+        flows = self.usage[HotspotKind.FLOWS]._invert
+        vnics = self.usage[HotspotKind.VNICS]._invert
+        return [VSwitchDemand(cps=cps(rnd()), flows=flows(rnd()),
+                              vnics=vnics(rnd()))
+                for _ in range(n or self.n)]
 
     def hotspot_distribution(self,
                              n: Optional[int] = None) -> Dict[HotspotKind, float]:

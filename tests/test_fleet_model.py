@@ -85,6 +85,57 @@ def test_usage_dist_rejects_unknown_metric():
         usage_dist("bandwidth")
 
 
+# -- vectorized sampling: RNG stream identity (ISSUE 7 satellite) ----------------
+
+def test_sample_n_matches_repeated_sample_exactly():
+    # One uniform per draw, in order: a fresh stream consumed by
+    # sample_n must yield exactly what repeated sample() calls did.
+    dist = usage_dist("flows")
+    vectorized = dist.sample_n(SeededRng(9, "v"), 500)
+    rng = SeededRng(9, "v")
+    assert vectorized == [dist.sample(rng) for _ in range(500)]
+
+
+def test_sample_demands_stream_unchanged_by_vectorization():
+    # Reference implementation: the historical per-sample draw order —
+    # one uniform per (vSwitch, metric), interleaved cps/flows/vnics.
+    model = FleetModel(n_vswitches=300, rng=SeededRng(5))
+    rng = SeededRng(5).child("demand")
+    expected = []
+    for _ in range(300):
+        expected.append((model.usage[HotspotKind.CPS].quantile(rng.random()),
+                         model.usage[HotspotKind.FLOWS].quantile(rng.random()),
+                         model.usage[HotspotKind.VNICS].quantile(rng.random())))
+    demands = model.sample_demands()
+    assert [(d.cps, d.flows, d.vnics) for d in demands] == expected
+
+
+def test_sample_usage_stream_unchanged_by_vectorization():
+    model = FleetModel(n_vswitches=200, rng=SeededRng(6))
+    rng = SeededRng(6).child("usage-cps")
+    expected = [model.usage[HotspotKind.CPS].sample(rng) for _ in range(200)]
+    assert model.sample_usage(HotspotKind.CPS) == expected
+
+
+def test_mean_estimate_cached_and_identical():
+    dist = usage_dist("cps")
+    first = dist.mean_estimate(n=2000)
+    # The cache must return the very same value, and the uncached sweep
+    # on a fresh instance must agree bit-for-bit.
+    assert dist.mean_estimate(n=2000) is dist._mean_cache[2000]
+    assert usage_dist("cps").mean_estimate(n=2000) == first
+    manual = sum(dist.quantile((i + 0.5) / 2000) for i in range(2000)) / 2000
+    assert first == manual
+
+
+def test_mean_estimate_cache_is_per_resolution():
+    dist = usage_dist("vnics")
+    coarse = dist.mean_estimate(n=100)
+    fine = dist.mean_estimate(n=10_000)
+    assert coarse != fine
+    assert set(dist._mean_cache) == {100, 10_000}
+
+
 # -- hotspot classification (Fig 3) ------------------------------------------------------
 
 def test_hotspot_distribution_matches_fig3():

@@ -1,0 +1,300 @@
+"""Fleet-scale simulation: shard-count determinism, flyweight records,
+coordinator policy, and the runner plumbing (ISSUE 7).
+
+The headline property is the shard-count invariance of the fleet
+experiment: its rendered table must be byte-identical for every
+``shards`` value, composed with the process pool (``jobs=2``) and with
+the full telemetry stack installed — the fleet-scale instance of the
+repo's determinism contract.
+"""
+
+from array import array
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigError
+from repro.fleet import (FleetCoordinator, FleetFlowStore, FleetParams,
+                         demand_units, make_shards, partition,
+                         run_shard_epoch, simulate_hot_epoch, vswitch_seed)
+from repro.workloads.fleet import FleetCapacity, HotspotKind, VSwitchDemand
+
+FLEET_KWARGS = dict(n_vswitches=200, epochs=2, seed=0)
+
+
+# -- partitioning and seed derivation ---------------------------------------
+
+def test_partition_contiguous_and_balanced():
+    ranges = partition(10, 3)
+    assert ranges == [(0, 4), (4, 7), (7, 10)]
+    sizes = [hi - lo for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_clamps_to_population():
+    assert partition(2, 8) == [(0, 1), (1, 2)]
+
+
+def test_partition_rejects_zero_shards():
+    with pytest.raises(ConfigError):
+        partition(10, 0)
+
+
+def test_vswitch_seeds_do_not_alias_at_fleet_scale():
+    seeds = {vswitch_seed(0, g) for g in range(10_000)}
+    assert len(seeds) == 10_000
+
+
+def test_vswitch_seeds_do_not_alias_across_root_seeds():
+    # The naive seed+index scheme collides (root 0 / vs 1 == root 1 /
+    # vs 0); the derived scheme must not.
+    a = {vswitch_seed(0, g) for g in range(500)}
+    b = {vswitch_seed(1, g) for g in range(500)}
+    assert not a & b
+
+
+def test_vswitch_seed_is_shard_layout_free():
+    # Walking any partition in shard order reproduces the unsharded seed
+    # sequence exactly: seeds are a function of the global index alone,
+    # so re-partitioning the fleet cannot change any vSwitch's stream.
+    flat = [vswitch_seed(42, g) for g in range(100)]
+    for shards in (2, 4, 7):
+        walked = [vswitch_seed(42, g)
+                  for lo, hi in partition(100, shards)
+                  for g in range(lo, hi)]
+        assert walked == flat
+    assert len(set(flat)) == len(flat)
+
+
+# -- flyweight store --------------------------------------------------------
+
+def test_flyweight_alloc_grows_zeroed():
+    store = FleetFlowStore()
+    slots = store.alloc_block(5)
+    assert list(slots) == [0, 1, 2, 3, 4]
+    assert len(store) == 5 and store.capacity == 5
+    assert store.totals() == (0, 0)
+
+
+def test_flyweight_free_and_recycle_rezeroes():
+    store = FleetFlowStore()
+    slots = store.alloc_block(4)
+    store.fold(slots, pending_packets=8, pending_bytes=80)
+    store.free_block(slots[2:])
+    assert len(store) == 2
+    recycled = store.alloc_block(2)          # LIFO reuse of freed slots
+    assert set(recycled) <= {2, 3}
+    assert store.capacity == 4               # no growth needed
+    assert all(store.packets[s] == 0 for s in recycled)
+
+
+def test_flyweight_fold_is_exact_with_remainder():
+    store = FleetFlowStore()
+    slots = store.alloc_block(3)
+    folded = store.fold(slots, pending_packets=10, pending_bytes=101)
+    assert folded == (10, 101)
+    assert sorted(store.packets[s] for s in slots) == [3, 3, 4]
+    assert store.totals() == (10, 101)
+
+
+def test_flyweight_fold_without_live_slots_defers():
+    store = FleetFlowStore()
+    assert store.fold(array("l"), 7, 70) == (0, 0)
+    assert store.totals() == (0, 0)
+
+
+def test_flyweight_nbytes_tracks_columns():
+    store = FleetFlowStore()
+    store.alloc_block(100)
+    assert store.nbytes() == 100 * 16       # two 'q' columns, empty free list
+
+
+# -- hot micro-sim ----------------------------------------------------------
+
+def test_hot_sim_deterministic():
+    a = simulate_hot_epoch(seed=7, demand_ratio=3.0, granted=False)
+    b = simulate_hot_epoch(seed=7, demand_ratio=3.0, granted=False)
+    assert a == b
+
+
+def test_hot_sim_overload_drops_and_grant_desaturates():
+    overloaded = simulate_hot_epoch(seed=7, demand_ratio=6.0, granted=False)
+    granted = simulate_hot_epoch(seed=7, demand_ratio=6.0, granted=True)
+    assert overloaded["sim_drops"] > 0
+    assert granted["sim_drops"] == 0
+    assert granted["sim_cpu"] < overloaded["sim_cpu"]
+    assert granted["sim_delivered"] == granted["sim_sent"]
+
+
+def test_demand_units_scale_with_excess():
+    capacity = FleetCapacity()
+    mild = VSwitchDemand(cps=capacity.cps * 1.2, flows=0.0005, vnics=0.0005)
+    severe = VSwitchDemand(cps=capacity.cps * 5.0, flows=0.0005, vnics=0.0005)
+    assert demand_units(mild, capacity) == 1
+    assert demand_units(severe, capacity) == 4
+
+
+# -- coordinator ------------------------------------------------------------
+
+def _report(entries):
+    return [{"epoch": 0, "lo": 0, "hi": 100,
+             "cold": {"count": 0, "flows": 0, "pkts": 0, "bytes": 0,
+                      "born": 0, "died": 0},
+             "hot": entries}]
+
+
+def _hot(index, units, kinds=("cps",)):
+    return {"index": index, "units": units, "kinds": list(kinds)}
+
+
+def test_coordinator_all_or_nothing_denial():
+    coord = FleetCoordinator(seed=0, pool_units=3)
+    coord.settle(0, _report([_hot(1, 2), _hot(2, 2)]))
+    assert coord.grants == {1: 2}            # 2 left < 2 requested: denied
+    assert coord.denied_requests == 1
+    occurrences, residual = coord.overloads[HotspotKind.CPS]
+    assert (occurrences, residual) == (2, 1)  # the denied one stands
+
+
+def test_coordinator_renewals_beat_newcomers():
+    coord = FleetCoordinator(seed=0, pool_units=2)
+    coord.settle(0, _report([_hot(5, 2)]))
+    assert coord.grants == {5: 2}
+    # Next epoch a lower-index newcomer competes; the holder renews.
+    coord.settle(1, _report([_hot(1, 2), _hot(5, 2)]))
+    assert coord.grants == {5: 2}
+    assert coord.denied_requests == 1
+
+
+def test_coordinator_releases_quiet_grants():
+    coord = FleetCoordinator(seed=0, pool_units=4)
+    coord.settle(0, _report([_hot(3, 4)]))
+    assert coord.units_in_use() == 4
+    coord.settle(1, _report([]))
+    assert coord.grants == {} and coord.units_in_use() == 0
+    assert coord.utilization == [1.0, 0.0]
+
+
+def test_coordinator_vnics_always_mitigated_when_granted():
+    coord = FleetCoordinator(seed=0, pool_units=8)
+    coord.settle(0, _report([_hot(1, 1, kinds=("vnics",))]))
+    occurrences, residual = coord.overloads[HotspotKind.VNICS]
+    assert (occurrences, residual) == (1, 0)
+
+
+def test_coordinator_denied_vnics_is_residual():
+    coord = FleetCoordinator(seed=0, pool_units=0)
+    coord.settle(0, _report([_hot(1, 1, kinds=("vnics",))]))
+    occurrences, residual = coord.overloads[HotspotKind.VNICS]
+    assert (occurrences, residual) == (1, 1)
+
+
+# -- shard epoch step -------------------------------------------------------
+
+def test_shard_epoch_reports_are_shard_invariant():
+    params = FleetParams(seed=0, n_vswitches=60)
+
+    def epoch_reports(shards):
+        states = make_shards(params, shards)
+        merged_cold, merged_hot = [], []
+        for state in states:
+            _state, report = run_shard_epoch((state, 0, {}, params))
+            merged_cold.append(report["cold"])
+            merged_hot.extend(report["hot"])
+        totals = {key: sum(cold[key] for cold in merged_cold)
+                  for key in merged_cold[0]}
+        return totals, merged_hot
+
+    base = epoch_reports(1)
+    assert epoch_reports(2) == base
+    assert epoch_reports(3) == base
+
+
+def test_shard_hot_lists_ascend_globally():
+    params = FleetParams(seed=0, n_vswitches=300)
+    indices = []
+    for state in make_shards(params, 4):
+        _state, report = run_shard_epoch((state, 0, {}, params))
+        indices.extend(entry["index"] for entry in report["hot"])
+    assert indices == sorted(indices)
+
+
+# -- the experiment: byte-identity across shard counts ----------------------
+
+def test_fleet_experiment_identical_across_shard_counts():
+    from repro.experiments import fleet
+    texts = {shards: fleet.run(shards=shards, jobs=1,
+                               **FLEET_KWARGS).to_text()
+             for shards in (1, 2, 4)}
+    assert texts[1] == texts[2] == texts[4]
+    assert "fleet" in texts[1]
+
+
+def test_fleet_experiment_identical_with_pool_and_telemetry():
+    """shards=2/jobs=2 (real process pool) with the telemetry stack
+    installed must render the same table as the bare shards=1/jobs=1
+    run — the test_flow_records_determinism composition."""
+    from repro.experiments import fleet
+    base = fleet.run(shards=1, jobs=1, **FLEET_KWARGS).to_text()
+    telemetry.install(profile=True)
+    try:
+        composed = fleet.run(shards=2, jobs=2, **FLEET_KWARGS).to_text()
+    finally:
+        telemetry.uninstall()
+    assert composed == base
+
+
+def test_fleet_experiment_seed_sensitivity():
+    from repro.experiments import fleet
+    a = fleet.run(n_vswitches=200, epochs=2, seed=0, shards=1, jobs=1)
+    b = fleet.run(n_vswitches=200, epochs=2, seed=1, shards=1, jobs=1)
+    assert a.to_text() != b.to_text()
+
+
+# -- runner plumbing --------------------------------------------------------
+
+def test_resolve_jobs_serializes_inside_workers(monkeypatch):
+    from repro.experiments import parallel
+    assert parallel.resolve_jobs(4, 8) == 4
+    monkeypatch.setattr(parallel, "_IN_WORKER", True)
+    assert parallel.resolve_jobs(4, 8) == 1
+    assert parallel.resolve_jobs(None, 8) == 1
+
+
+def test_sweep_inside_worker_runs_in_process(monkeypatch):
+    from repro.experiments import parallel
+    monkeypatch.setattr(parallel, "_IN_WORKER", True)
+    # A nested pool would fork; in-worker the sweep must be the plain
+    # loop, which works on unpicklable closures.
+    captured = []
+    result = parallel.sweep([1, 2, 3], lambda p: captured.append(p) or p * 2,
+                            jobs=4)
+    assert result == [2, 4, 6] and captured == [1, 2, 3]
+
+
+def test_cli_fleet_shards_flag(capsys):
+    from repro.experiments.runner import main
+    assert main(["fleet", "--fast", "--shards", "2", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "== fleet:" in out
+    assert "invariant to the shard count" in out
+
+
+def test_cli_rejects_bad_shards(capsys):
+    from repro.experiments.runner import main
+    with pytest.raises(SystemExit):
+        main(["fleet", "--shards", "0"])
+
+
+def test_runner_forwards_shards_only_when_accepted():
+    from repro.experiments.runner import _run_kwargs
+
+    def fleet_like(seed=0, jobs=1, shards=None):
+        pass
+
+    def classic(seed=0, jobs=1):
+        pass
+
+    assert _run_kwargs(fleet_like, 3, 2, 4) == dict(seed=3, jobs=2, shards=4)
+    assert _run_kwargs(fleet_like, 3, 2, None) == dict(seed=3, jobs=2)
+    assert _run_kwargs(classic, 3, 2, 4) == dict(seed=3, jobs=2)

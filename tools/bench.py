@@ -27,6 +27,13 @@ gated — the speedup depends on the recorded ``cpu_count`` — but each
 entry also re-checks that ``jobs=1`` and ``jobs=N`` rendered identical
 tables, and a mismatch *does* fail the run (determinism is a
 correctness property, not a performance one).
+
+Fleet — wall clock + tracemalloc peak per fleet scale point, with the
+peak-vs-naive-sessions memory ratio (regenerates BENCH_fleet.json; with
+``--smoke``: reduced scale, shard-identity + peak-memory gate)::
+
+    PYTHONPATH=src python tools/bench.py --fleet
+    PYTHONPATH=src python tools/bench.py --fleet --smoke
 """
 
 from __future__ import annotations
@@ -42,12 +49,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import run_all, run_macro, run_telemetry_overhead  # noqa: E402
+from repro.bench import (run_all, run_fleet_smoke, run_fleet_suite,  # noqa: E402
+                         run_macro, run_telemetry_overhead)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
 DEFAULT_MACRO_OUTPUT = REPO_ROOT / "BENCH_experiments.json"
+DEFAULT_FLEET_OUTPUT = REPO_ROOT / "BENCH_fleet.json"
 SCHEMA = "bench_fastpath/v1"
 MACRO_SCHEMA = "bench_experiments/v1"
+FLEET_SCHEMA = "bench_fleet/v1"
 
 # Per-bench smoke-gate overrides, recorded into the committed JSON so the
 # gate travels with the baseline. The flow-record benches headline this
@@ -170,6 +180,83 @@ def run_experiments_mode(args) -> int:
     return 0
 
 
+def print_fleet_table(entries: dict) -> None:
+    print(f"{'point':<12} {'vswitches':>9} {'wall s':>8} {'peak MB':>9} "
+          f"{'naive MB':>9} {'ratio':>7} {'flows':>9}")
+    for name, entry in entries.items():
+        wall = entry.get("wall_s")
+        print(f"{name:<12} {entry['n_vswitches']:>9} "
+              f"{wall if wall is not None else '-':>8} "
+              f"{entry['peak_mb']:>9.1f} {entry['naive_mb']:>9.1f} "
+              f"{entry['peak_over_naive']:>7.3f} {entry['live_flows']:>9}")
+
+
+def run_fleet_mode(args) -> int:
+    """Fleet macro mode: wall clock + tracemalloc peak per scale point.
+
+    Without ``--smoke``: runs every scale point (500/1K/10K vSwitches),
+    enforces the ISSUE 7 bar — peak memory ≤ 25% of naive per-object
+    sessions at the full scales — and writes BENCH_fleet.json.
+    With ``--smoke``: re-runs only the 500-vSwitch point, requires the
+    shards-1-vs-2 output to be byte-identical, and gates its peak memory
+    against the committed baseline (per-entry ``gate_tolerance``).
+    """
+    output = args.output if args.output != DEFAULT_OUTPUT \
+        else DEFAULT_FLEET_OUTPUT
+
+    if args.smoke:
+        entry = run_fleet_smoke()
+        print_fleet_table({"smoke": entry})
+        if not entry["identical_across_shards"]:
+            print("\nerror: fleet output diverged between shards=1 and "
+                  "shards=2", file=sys.stderr)
+            return 1
+        if not output.exists():
+            print(f"error: no baseline at {output}; run --fleet without "
+                  f"--smoke first", file=sys.stderr)
+            return 2
+        baseline = json.loads(output.read_text()).get("fleet", {}) \
+            .get("smoke")
+        if baseline is None:
+            print(f"error: {output.name} has no smoke entry; run --fleet "
+                  f"without --smoke first", file=sys.stderr)
+            return 2
+        tolerance = baseline.get("gate_tolerance", 0.50) \
+            if args.tolerance is None else args.tolerance
+        ceiling = baseline["peak_mb"] * (1.0 + tolerance)
+        if entry["peak_mb"] > ceiling:
+            print(f"\nREGRESSION: fleet smoke peak {entry['peak_mb']:.1f} MB"
+                  f" exceeds baseline {baseline['peak_mb']:.1f} MB by more "
+                  f"than {tolerance:.0%}", file=sys.stderr)
+            return 1
+        print(f"\nfleet smoke OK: shard-identical output, peak within "
+              f"{tolerance:.0%} of {output.name}")
+        return 0
+
+    entries = run_fleet_suite()
+    print_fleet_table(entries)
+    over = [name for name, entry in entries.items()
+            if entry.get("naive_ratio_ceiling") is not None
+            and entry["peak_over_naive"] > entry["naive_ratio_ceiling"]]
+    if over:
+        print(f"\nerror: peak memory exceeded the naive-session ratio "
+              f"ceiling for: {', '.join(over)}", file=sys.stderr)
+        return 1
+    doc = {
+        "schema": FLEET_SCHEMA,
+        "config": {
+            "cpu_count": os.cpu_count(),
+            "git_commit": _git_commit(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "fleet": entries,
+    }
+    output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
 def run_telemetry_mode(args) -> int:
     """Measure telemetry overhead on the fig9 macro bench.
 
@@ -234,6 +321,11 @@ def main(argv=None) -> int:
     parser.add_argument("--experiments", action="store_true",
                         help="macro mode: per-experiment sequential vs "
                              "parallel wall clocks -> BENCH_experiments.json")
+    parser.add_argument("--fleet", action="store_true",
+                        help="fleet mode: wall clock + tracemalloc peak "
+                             "per fleet scale point -> BENCH_fleet.json "
+                             "(with --smoke: reduced scale, shard-identity "
+                             "check + peak-memory gate only)")
     parser.add_argument("--telemetry", action="store_true",
                         help="telemetry mode: fig9 wall clock with the "
                              "telemetry stack installed vs not; merges a "
@@ -265,6 +357,8 @@ def main(argv=None) -> int:
 
     if args.experiments:
         return run_experiments_mode(args)
+    if args.fleet:
+        return run_fleet_mode(args)
     if args.telemetry:
         return run_telemetry_mode(args)
 

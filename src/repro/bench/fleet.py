@@ -24,11 +24,20 @@ import time
 import tracemalloc
 from typing import Dict, Optional
 
-#: Scale points for the tracked full run.
-SCALES = (1_000, 10_000)
+#: Scale points for the tracked full run. 100K is the PR 8 headline:
+#: the vectorized cold tail plus fluid hot sims keep it tractable on a
+#: single core, and the flyweight ratio bar holds an order of magnitude
+#: past the paper's fleet size.
+SCALES = (1_000, 10_000, 100_000)
 #: The reduced scale the CI fleet-smoke job re-measures.
 SMOKE_SCALE = 500
 SMOKE_SHARDS = 2
+#: Scale for the smoke's resident-pool identity check (kept below
+#: SMOKE_SCALE so the extra two runs stay cheap in CI).
+RESIDENT_SMOKE_SCALE = 400
+#: Worker/shard count for the per-scale resident-mode measurement.
+RESIDENT_SHARDS = 2
+RESIDENT_JOBS = 2
 #: Smoke-gate slack on peak memory: at 500 vSwitches fixed overheads
 #: (imports, code objects, the hot micro-sims' engines) are a large
 #: share of a small peak, so the gate is loose; the ratio bar is what
@@ -53,9 +62,22 @@ def measure_naive_bytes_per_flow(sample: int = 20_000) -> float:
 
 
 def run_fleet_point(n_vswitches: int, epochs: int = 3, seed: int = 0,
-                    shards: int = 1,
-                    measure_wall: bool = True) -> Dict[str, object]:
-    """One scale point: wall clock (untraced) + tracemalloc peak."""
+                    shards: int = 1, measure_wall: bool = True,
+                    measure_resident: bool = False) -> Dict[str, object]:
+    """One scale point: wall clock (untraced) + tracemalloc peak.
+
+    The untraced run also records per-phase timings — the seed epoch
+    (every cold flow is born: bulk slot allocation dominates) vs the
+    steady epochs (vectorized cold tail + hot micro-sims) — so the
+    benches can tell allocation cost from per-epoch cost.
+
+    ``measure_resident`` adds a third run on the resident worker pool
+    (``RESIDENT_SHARDS`` shards × ``RESIDENT_JOBS`` workers) and records
+    its IPC accounting: ``ipc_bytes_per_epoch`` must stay flat —
+    proportional to the hot-report count, independent of the flyweight
+    state size — or state has started round-tripping again (DESIGN
+    §5.7).
+    """
     from repro.experiments.fleet import run
 
     kwargs = dict(n_vswitches=n_vswitches, epochs=epochs, seed=seed,
@@ -63,9 +85,10 @@ def run_fleet_point(n_vswitches: int, epochs: int = 3, seed: int = 0,
     naive_per_flow = measure_naive_bytes_per_flow()
 
     wall_s: Optional[float] = None
+    phases: Dict[str, object] = {}
     if measure_wall:
         started = time.perf_counter()
-        run(**kwargs)
+        run(**kwargs, stats=phases)
         wall_s = time.perf_counter() - started
 
     tracemalloc.start()
@@ -77,10 +100,14 @@ def run_fleet_point(n_vswitches: int, epochs: int = 3, seed: int = 0,
 
     live_flows = result.row_where("metric", "live flows")["value"]
     naive_bytes = live_flows * naive_per_flow
-    return {
+    entry: Dict[str, object] = {
         "n_vswitches": n_vswitches,
         "epochs": epochs,
         "wall_s": round(wall_s, 3) if wall_s is not None else None,
+        "seed_epoch_s": round(phases["seed_epoch_s"], 3)
+        if phases else None,
+        "steady_epoch_s": round(phases["steady_epoch_s"], 3)
+        if phases else None,
         "peak_mb": round(peak / 1e6, 3),
         "live_flows": live_flows,
         "naive_bytes_per_flow": round(naive_per_flow, 1),
@@ -89,6 +116,22 @@ def run_fleet_point(n_vswitches: int, epochs: int = 3, seed: int = 0,
         else None,
         "rows": len(result.rows),
     }
+    if measure_resident:
+        rstats: Dict[str, object] = {}
+        started = time.perf_counter()
+        run(n_vswitches=n_vswitches, epochs=epochs, seed=seed,
+            shards=RESIDENT_SHARDS, jobs=RESIDENT_JOBS, resident=True,
+            stats=rstats)
+        entry["resident"] = {
+            "shards": RESIDENT_SHARDS,
+            "jobs": rstats["jobs"],
+            "wall_s": round(time.perf_counter() - started, 3),
+            "ipc_bytes_per_epoch": round(rstats["ipc_bytes_per_epoch"], 1),
+            "ipc_bytes_init": rstats["ipc_bytes_init"],
+            "ipc_bytes_collect": rstats["ipc_bytes_collect"],
+            "state_mb": round(rstats["state_nbytes"] / 1e6, 3),
+        }
+    return entry
 
 
 def run_fleet_suite(epochs: int = 3, seed: int = 0) -> Dict[str, Dict]:
@@ -98,19 +141,22 @@ def run_fleet_suite(epochs: int = 3, seed: int = 0) -> Dict[str, Dict]:
     smoke["gate_tolerance"] = SMOKE_GATE_TOLERANCE
     entries["smoke"] = smoke
     for scale in SCALES:
-        entry = run_fleet_point(scale, epochs=epochs, seed=seed)
+        entry = run_fleet_point(scale, epochs=epochs, seed=seed,
+                                measure_resident=True)
         entry["naive_ratio_ceiling"] = NAIVE_RATIO_CEILING
         entries[f"scale_{scale}"] = entry
     return entries
 
 
 def run_fleet_smoke(epochs: int = 3, seed: int = 0) -> Dict[str, object]:
-    """The CI check: shard-count identity + the smoke-scale memory point.
+    """The CI check: shard/residency identity + the smoke memory point.
 
     Runs the reduced fleet with ``shards=1`` and ``shards=SMOKE_SHARDS``
-    and byte-compares the rendered tables (the determinism contract),
-    then measures the smoke point's peak for the caller to gate against
-    the committed baseline.
+    and byte-compares the rendered tables (the determinism contract);
+    repeats the comparison at ``RESIDENT_SMOKE_SCALE`` with the resident
+    worker pool on vs off (same shards/jobs, so residency is the only
+    variable); then measures the smoke point's peak for the caller to
+    gate against the committed baseline.
     """
     from repro.experiments.fleet import run
 
@@ -118,7 +164,14 @@ def run_fleet_smoke(epochs: int = 3, seed: int = 0) -> Dict[str, object]:
                shards=1, jobs=1).to_text()
     sharded = run(n_vswitches=SMOKE_SCALE, epochs=epochs, seed=seed,
                   shards=SMOKE_SHARDS, jobs=1).to_text()
+    swept = run(n_vswitches=RESIDENT_SMOKE_SCALE, epochs=epochs, seed=seed,
+                shards=RESIDENT_SHARDS, jobs=RESIDENT_JOBS,
+                resident=False).to_text()
+    pooled = run(n_vswitches=RESIDENT_SMOKE_SCALE, epochs=epochs, seed=seed,
+                 shards=RESIDENT_SHARDS, jobs=RESIDENT_JOBS,
+                 resident=True).to_text()
     entry = run_fleet_point(SMOKE_SCALE, epochs=epochs, seed=seed,
                             measure_wall=False)
     entry["identical_across_shards"] = base == sharded
+    entry["identical_with_resident_pool"] = swept == pooled
     return entry

@@ -10,25 +10,43 @@ whose demand crosses capacity run a real per-packet micro-sim
 flyweight struct-of-arrays flow records (:mod:`repro.fleet.flyweight`) —
 millions of concurrent connections in tens of megabytes.
 
-The fleet is partitioned into contiguous shards that fan out over the
-:func:`~repro.experiments.parallel.sweep` process pool; the shared FE
-pool is the only cross-shard coupling (shards report demand, the
-coordinator feeds grants back next epoch). Every per-vSwitch stream is
-keyed on the global index, so the rendered table is **byte-identical for
-every ``--shards`` value** — the fleet-scale instance of the repo's
-determinism contract (DESIGN §5.6).
+The fleet is partitioned into contiguous shards; with ``jobs > 1`` the
+epoch loop runs on a **resident worker pool**
+(:class:`~repro.experiments.parallel.ResidentPool`): each worker holds
+its shards' state in-process across epochs and only plain-data payloads
+(epoch, grants) and reports cross the process boundary — the flyweight
+columns ship exactly twice (init/collect) instead of twice per epoch
+(DESIGN §5.7). ``resident=False`` falls back to the PR 7 per-epoch
+:func:`~repro.experiments.parallel.sweep` round-trip; ``jobs=1`` is the
+exact legacy in-process loop. The shared FE pool is the only
+cross-shard coupling (shards report demand, the coordinator feeds
+grants back next epoch). Every per-vSwitch stream is keyed on the
+global index, so the rendered table is **byte-identical for every
+``--shards`` × ``--jobs`` × resident-mode combination** — the
+fleet-scale instance of the repo's determinism contract (DESIGN §5.6).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import Dict, Optional
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig13 import PAPER_MITIGATION
-from repro.experiments.parallel import sweep
+from repro.experiments.parallel import ResidentPool, resolve_jobs, sweep
 from repro.fleet import (FleetCoordinator, FleetParams, make_shards,
                          run_shard_epoch)
 from repro.workloads.fleet import HotspotKind
+
+
+def _resident_step(state, payload):
+    """ResidentPool worker function: one shard, one epoch.
+
+    The broadcast payload is ``(epoch, grants, params)`` — a few hundred
+    pickled bytes regardless of fleet size; the shard state stays
+    resident in the worker."""
+    epoch, grants, params = payload
+    return run_shard_epoch((state, epoch, grants, params))
 
 
 def default_pool_units(n_vswitches: int) -> int:
@@ -42,12 +60,20 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
         shards: Optional[int] = None, jobs: int = 1,
         fe_pool_units: Optional[int] = None,
         flows_per_unit: int = 20_000,
-        survivable_window: float = 3.6) -> ExperimentResult:
+        survivable_window: float = 3.6,
+        resident: Optional[bool] = None,
+        stats: Optional[Dict[str, object]] = None) -> ExperimentResult:
     """Run the fleet for ``epochs`` demand redraws.
 
     ``shards=None`` matches the shard count to ``jobs`` so parallelism
     is meaningful by default; any explicit value is honored — the output
-    does not depend on it.
+    does not depend on it. ``resident=None`` uses the resident worker
+    pool exactly when more than one effective worker is available
+    (``jobs=1`` stays the legacy in-process loop either way); ``True`` /
+    ``False`` force the mode — the output does not depend on it either.
+    ``stats``, if given, receives phase timings and IPC accounting
+    (``seed_epoch_s``, ``steady_epoch_s``, ``ipc_bytes_per_epoch``, ...)
+    for the fleet benchmarks.
     """
     if shards is None:
         shards = max(1, jobs)
@@ -59,29 +85,60 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
                                    survivable_window=survivable_window)
     states = make_shards(params, shards)
     grants: dict = {}
+    if resident is None:
+        resident = resolve_jobs(jobs, len(states)) > 1
+    pool = ResidentPool(_resident_step, states, jobs=jobs) \
+        if resident else None
 
     hot_observations = 0
     hot_sent = hot_delivered = hot_drops = 0
     hot_cpu_sum = 0.0
     fluid_pkts = fluid_bytes = 0
-    for epoch in range(epochs):
-        points = [(state, epoch, grants, params) for state in states]
-        outcomes = sweep(points, run_shard_epoch, jobs=jobs)
-        states = [state for state, _report in outcomes]
-        reports = [report for _state, report in outcomes]
-        grants = coordinator.settle(epoch, reports)
-        for report in reports:  # submission order = ascending index
-            cold = report["cold"]
-            fluid_pkts += cold["pkts"]
-            fluid_bytes += cold["bytes"]
-            for entry in report["hot"]:
-                hot_observations += 1
-                hot_sent += entry["sim_sent"]
-                hot_delivered += entry["sim_delivered"]
-                hot_drops += entry["sim_drops"]
-                hot_cpu_sum += entry["sim_cpu"]
-                fluid_pkts += entry["pkts"]
-                fluid_bytes += entry["bytes"]
+    epoch_walls = []
+    try:
+        for epoch in range(epochs):
+            epoch_started = time.perf_counter()
+            if pool is not None:
+                reports = pool.step((epoch, grants, params))
+            else:
+                points = [(state, epoch, grants, params)
+                          for state in states]
+                outcomes = sweep(points, run_shard_epoch, jobs=jobs)
+                states = [state for state, _report in outcomes]
+                reports = [report for _state, report in outcomes]
+            grants = coordinator.settle(epoch, reports)
+            for report in reports:  # submission order = ascending index
+                cold = report["cold"]
+                fluid_pkts += cold["pkts"]
+                fluid_bytes += cold["bytes"]
+                for entry in report["hot"]:
+                    hot_observations += 1
+                    hot_sent += entry["sim_sent"]
+                    hot_delivered += entry["sim_delivered"]
+                    hot_drops += entry["sim_drops"]
+                    hot_cpu_sum += entry["sim_cpu"]
+                    fluid_pkts += entry["pkts"]
+                    fluid_bytes += entry["bytes"]
+            epoch_walls.append(time.perf_counter() - epoch_started)
+        if pool is not None:
+            states = pool.collect()
+    finally:
+        if pool is not None:
+            pool.close()
+
+    if stats is not None:
+        stats["resident"] = resident
+        stats["jobs"] = pool.jobs if pool is not None else 1
+        stats["epoch_walls_s"] = epoch_walls
+        stats["seed_epoch_s"] = epoch_walls[0] if epoch_walls else 0.0
+        steady = epoch_walls[1:]
+        stats["steady_epoch_s"] = (sum(steady) / len(steady)) if steady \
+            else 0.0
+        if pool is not None:
+            stats["ipc_bytes_init"] = pool.init_ipc_bytes
+            stats["ipc_bytes_collect"] = pool.collect_ipc_bytes
+            stats["ipc_bytes_per_epoch"] = pool.ipc_bytes_per_step()
+        stats["state_nbytes"] = sum(state.nbytes() for state in states)
 
     # End-of-run materialization boundary: fold pending aggregates into
     # the flyweight columns and cross-check the fluid totals exactly.
@@ -133,5 +190,6 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
     result.note(f"{n_vswitches} vSwitches x {epochs} epochs sharing "
                 f"{pool_units} FE units; hot vSwitches run per-packet "
                 "micro-sims, the cold tail advances fluidly on flyweight "
-                "records; output is invariant to the shard count")
+                "records; output is invariant to the shard count, worker "
+                "count, and residency mode")
     return result

@@ -22,11 +22,24 @@ The contract every sweep obeys:
 Workers re-derive their randomness from plain integer seeds carried
 inside the point (see :func:`repro.sim.rng.derive_seed`), which is what
 makes replication across pool processes reproducible.
+
+:class:`ResidentPool` is the *stateful* counterpart for iterated
+computations (the fleet's epoch loop): long-lived worker processes that
+receive their state once (``init``), advance it in-process every
+round (``step``), and ship it back once at the end (``collect``) — so
+per-round IPC carries only the small plain-data payloads and reports,
+never the state itself. The determinism story is the same as
+:func:`sweep`'s: slots are assigned to workers as contiguous ascending
+slices and every reply merges in slot order, so the merged report list
+is byte-for-byte what the sequential loop would produce.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -105,3 +118,254 @@ def point_seeds(seed: int, label: str, points: Sequence[Any]) -> List[int]:
     """
     return [derive_seed(seed, f"{label}/{index}")
             for index in range(len(points))]
+
+
+# -- resident (actor-style) worker pool -------------------------------------
+
+class ResidentWorkerError(RuntimeError):
+    """A resident worker raised, died, or went unreachable mid-run."""
+
+
+def _resident_worker_main(conn, worker_fn) -> None:
+    """Worker-process loop: hold assigned states in-process, apply
+    ``worker_fn(state, payload)`` per slot on every ``step``.
+
+    Slots are processed in ascending slot order inside the worker;
+    combined with contiguous slot assignment across workers, replies
+    concatenate into global slot order at the coordinator. Exceptions
+    are caught and shipped back as ``("error", traceback)`` so the
+    coordinator can re-raise with context instead of losing the worker.
+    """
+    _mark_worker()  # nested sweep()s inside worker_fn must serialize
+    states: dict = {}
+    try:
+        while True:
+            try:
+                message = pickle.loads(conn.recv_bytes())
+            except EOFError:
+                return          # coordinator went away; nothing to save
+            kind = message[0]
+            try:
+                if kind == "init":
+                    for slot, state in message[1]:
+                        states[slot] = state
+                    reply = ("ok", None)
+                elif kind == "step":
+                    payload = message[1]
+                    replies = []
+                    for slot in sorted(states):
+                        states[slot], report = worker_fn(states[slot],
+                                                         payload)
+                        replies.append(report)
+                    reply = ("ok", replies)
+                elif kind == "collect":
+                    reply = ("ok", [states[slot]
+                                    for slot in sorted(states)])
+                elif kind == "stop":
+                    conn.send_bytes(pickle.dumps(("ok", None)))
+                    return
+                else:
+                    reply = ("error", f"unknown message kind {kind!r}")
+            except Exception:
+                reply = ("error", traceback.format_exc())
+            conn.send_bytes(pickle.dumps(reply,
+                                         protocol=pickle.HIGHEST_PROTOCOL))
+    finally:
+        conn.close()
+
+
+class ResidentPool:
+    """Persistent worker processes holding per-slot state in-process.
+
+    The actor-style counterpart to :func:`sweep` for *iterated* stateful
+    computations: ``sweep`` round-trips every point — state included —
+    through pickle on every call, which is fine for independent points
+    but makes an epoch loop over tens of megabytes of shard state pay
+    the serialization cost ``epochs`` times. A resident pool ships each
+    state across the process boundary exactly twice (``init`` in,
+    ``collect`` out); every :meth:`step` carries only a small broadcast
+    payload out and plain-data reports back.
+
+    Contract:
+
+    * ``worker_fn`` is a top-level picklable callable
+      ``(state, payload) -> (state, report)`` returning the advanced
+      state plus a plain-data report (the :func:`sweep` point contract,
+      curried over the resident state).
+    * **Determinism.** Slot ``i`` of ``states`` keeps identity ``i`` for
+      the pool's lifetime. Slots are assigned to workers as contiguous
+      ascending slices, each worker steps its slots in ascending order,
+      and :meth:`step`/:meth:`collect` merge replies in worker =
+      ascending-slot order — so the merged lists are identical to the
+      sequential ``[worker_fn(s, payload) for s in states]``.
+    * **Degenerate pool.** With one effective worker (``jobs=1``, one
+      slot, or inside an existing pool worker) no process is spawned:
+      the pool runs the exact legacy in-process loop (same call order,
+      no pickling, zero IPC) — the ``sweep(jobs=1)`` guarantee.
+    * **Failure.** A worker that raises ships its traceback back and
+      the coordinator raises :class:`ResidentWorkerError`; a worker
+      that *dies* (kill, OOM) is detected by the reply poll loop and
+      surfaced the same way instead of hanging the run.
+
+    IPC accounting: every pickled message is counted, split by phase —
+    ``init_ipc_bytes``, ``step_ipc_bytes`` (one entry per step call),
+    ``collect_ipc_bytes`` — which is what lets callers *prove* state
+    residency: step traffic stays flat while resident state grows.
+    """
+
+    def __init__(self, worker_fn: Callable[[Any, Any], Any],
+                 states: Sequence[Any], jobs: Optional[int] = None) -> None:
+        self._states = list(states)
+        n_slots = len(self._states)
+        if n_slots == 0:
+            raise ValueError("ResidentPool needs at least one state slot")
+        self._jobs = resolve_jobs(jobs, n_slots)
+        self._workers: List[dict] = []
+        self._closed = False
+        self.init_ipc_bytes = 0
+        self.step_ipc_bytes: List[int] = []
+        self.collect_ipc_bytes = 0
+        if self._jobs == 1:
+            self._worker_fn = worker_fn
+            return
+        # Contiguous ascending slot slices, sizes differing by at most
+        # one — the partition() shape, so reply concatenation walks the
+        # slot space in order.
+        base, extra = divmod(n_slots, self._jobs)
+        lo = 0
+        ctx = multiprocessing.get_context()
+        for w in range(self._jobs):
+            hi = lo + base + (1 if w < extra else 0)
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_resident_worker_main,
+                args=(child_conn, worker_fn),
+                name=f"resident-worker-{w}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append({"process": process, "conn": parent_conn,
+                                  "slots": range(lo, hi)})
+            lo = hi
+        sent = 0
+        for worker in self._workers:
+            sent += self._send(worker, (
+                "init", [(slot, self._states[slot])
+                         for slot in worker["slots"]]))
+        received = sum(self._recv(worker)[1] for worker in self._workers)
+        self.init_ipc_bytes = sent + received
+        # States now live in the workers; drop the coordinator copies so
+        # residency is real (and measurable), not a cached duplicate.
+        self._states = None
+
+    # -- transport ----------------------------------------------------------
+
+    def _send(self, worker: dict, message) -> int:
+        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            worker["conn"].send_bytes(blob)
+        except (BrokenPipeError, OSError):
+            raise self._death(worker) from None
+        return len(blob)
+
+    def _recv(self, worker: dict):
+        """One reply, with liveness polling — a dead worker raises a
+        :class:`ResidentWorkerError` naming it instead of blocking on a
+        pipe that will never be written."""
+        conn = worker["conn"]
+        while not conn.poll(0.05):
+            if not worker["process"].is_alive():
+                raise self._death(worker)
+        try:
+            blob = conn.recv_bytes()
+        except EOFError:
+            raise self._death(worker) from None
+        status, value = pickle.loads(blob)
+        if status == "error":
+            raise ResidentWorkerError(
+                f"resident worker {worker['process'].name} "
+                f"(slots {worker['slots'][0]}..{worker['slots'][-1]}) "
+                f"raised:\n{value}")
+        return value, len(blob)
+
+    def _death(self, worker: dict) -> ResidentWorkerError:
+        process = worker["process"]
+        return ResidentWorkerError(
+            f"resident worker {process.name} "
+            f"(slots {worker['slots'][0]}..{worker['slots'][-1]}) died "
+            f"with exit code {process.exitcode}; its resident state is "
+            f"lost — rerun, or rerun with resident mode off")
+
+    # -- the actor protocol --------------------------------------------------
+
+    def step(self, payload) -> List[Any]:
+        """Broadcast ``payload``; returns per-slot reports in slot order."""
+        if self._closed:
+            raise ResidentWorkerError("pool is closed")
+        if self._jobs == 1:
+            reports = []
+            for slot, state in enumerate(self._states):
+                self._states[slot], report = self._worker_fn(state, payload)
+                reports.append(report)
+            self.step_ipc_bytes.append(0)
+            return reports
+        sent = sum(self._send(worker, ("step", payload))
+                   for worker in self._workers)
+        reports = []
+        received = 0
+        for worker in self._workers:
+            replies, nbytes = self._recv(worker)
+            reports.extend(replies)
+            received += nbytes
+        self.step_ipc_bytes.append(sent + received)
+        return reports
+
+    def collect(self) -> List[Any]:
+        """Ship the final states back; returns them in slot order."""
+        if self._closed:
+            raise ResidentWorkerError("pool is closed")
+        if self._jobs == 1:
+            return list(self._states)
+        sent = sum(self._send(worker, ("collect",))
+                   for worker in self._workers)
+        states = []
+        received = 0
+        for worker in self._workers:
+            replies, nbytes = self._recv(worker)
+            states.extend(replies)
+            received += nbytes
+        self.collect_ipc_bytes = sent + received
+        return states
+
+    def close(self) -> None:
+        """Stop the workers; idempotent, safe after a worker death."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker["conn"].send_bytes(pickle.dumps(("stop",)))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker["process"].join(timeout=5.0)
+            if worker["process"].is_alive():
+                worker["process"].terminate()
+                worker["process"].join(timeout=1.0)
+            worker["conn"].close()
+
+    @property
+    def jobs(self) -> int:
+        """Effective worker count (1 = in-process degenerate pool)."""
+        return self._jobs
+
+    def ipc_bytes_per_step(self) -> float:
+        """Mean IPC bytes per :meth:`step` call so far (0 in-process)."""
+        if not self.step_ipc_bytes:
+            return 0.0
+        return sum(self.step_ipc_bytes) / len(self.step_ipc_bytes)
+
+    def __enter__(self) -> "ResidentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -53,16 +53,18 @@ def _quick_kwargs(name: str) -> dict:
 
 
 def _run_kwargs(run_fn, seed: int, jobs: int,
-                shards: Optional[int] = None) -> dict:
+                shards: Optional[int] = None,
+                resident: Optional[bool] = None) -> dict:
     """Keyword arguments ``run_fn`` actually accepts.
 
     Inspects the signature's *parameters* — the old
     ``"seed" in run.__code__.co_varnames`` check also matched local
     variables, so a seedless ``run`` with a ``seed`` local would have
-    been called with an unexpected keyword. ``shards`` is forwarded only
-    when the experiment takes it (today: fleet) *and* the user asked for
-    a specific count; ``None`` keeps the experiment's own default
-    (fleet matches shards to jobs).
+    been called with an unexpected keyword. ``shards`` and ``resident``
+    are forwarded only when the experiment takes them (today: fleet)
+    *and* the user asked for a specific value; ``None`` keeps the
+    experiment's own default (fleet matches shards to jobs and uses the
+    resident pool whenever more than one worker is effective).
     """
     params = inspect.signature(run_fn).parameters
     kwargs = {}
@@ -72,14 +74,17 @@ def _run_kwargs(run_fn, seed: int, jobs: int,
         kwargs["jobs"] = jobs
     if "shards" in params and shards is not None:
         kwargs["shards"] = shards
+    if "resident" in params and resident is not None:
+        kwargs["resident"] = resident
     return kwargs
 
 
 def run_experiment(name: str, seed: int = 0, jobs: int = 1,
-                   fast: bool = False, shards: Optional[int] = None):
+                   fast: bool = False, shards: Optional[int] = None,
+                   resident: Optional[bool] = None):
     """Import and execute one experiment; returns (result, elapsed_s)."""
     module = importlib.import_module(f"repro.experiments.{name}")
-    kwargs = _run_kwargs(module.run, seed, jobs, shards)
+    kwargs = _run_kwargs(module.run, seed, jobs, shards, resident)
     if fast:
         kwargs.update(_quick_kwargs(name))
     started = time.perf_counter()
@@ -88,9 +93,10 @@ def run_experiment(name: str, seed: int = 0, jobs: int = 1,
 
 
 def run_one(name: str, seed: int = 0, jobs: int = 1,
-            fast: bool = False, shards: Optional[int] = None) -> None:
+            fast: bool = False, shards: Optional[int] = None,
+            resident: Optional[bool] = None) -> None:
     result, elapsed = run_experiment(name, seed, jobs, fast=fast,
-                                     shards=shards)
+                                     shards=shards, resident=resident)
     print(result.to_text())
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
@@ -136,6 +142,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fleet experiment only: partition the vSwitch "
                              "range into N shards (default: match --jobs); "
                              "output is byte-identical for every N")
+    parser.add_argument("--resident", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="fleet experiment only: force the resident "
+                             "worker pool on (--resident) or off "
+                             "(--no-resident); default: resident whenever "
+                             "more than one worker is effective; output is "
+                             "byte-identical either way")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record telemetry (metrics, latency spans, "
                              "unified trace, engine profile) and export it "
@@ -169,7 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         else:
             run_one(args.experiment, args.seed, jobs, fast=args.fast,
-                    shards=args.shards)
+                    shards=args.shards, resident=args.resident)
         if tel is not None:
             lines = tel.export(args.telemetry)
             print(f"[telemetry: {lines} lines -> {args.telemetry}]")

@@ -64,11 +64,13 @@ class FleetFlowStore:
 
     def _grow(self, n: int) -> int:
         """Append ``n`` zeroed slots in one C-level extension; returns the
-        first new slot index."""
+        first new slot index. ``frombytes`` appends straight from one
+        shared zero buffer — no intermediate array to build and discard
+        (the seed epoch calls this once per vSwitch)."""
         start = len(self.packets)
-        zeros = array("q", bytes(8 * n))
-        self.packets.extend(zeros)
-        self.bytes.extend(zeros)
+        zeros = bytes(8 * n)
+        self.packets.frombytes(zeros)
+        self.bytes.frombytes(zeros)
         return start
 
     def alloc_block(self, n: int) -> "array[int]":
@@ -113,9 +115,23 @@ class FleetFlowStore:
         per_pkts, rem_pkts = divmod(pending_packets, n)
         per_bytes, rem_bytes = divmod(pending_bytes, n)
         packets, nbytes = self.packets, self.bytes
-        for i, slot in enumerate(slots):
-            packets[slot] += per_pkts + (1 if i < rem_pkts else 0)
-            nbytes[slot] += per_bytes + (1 if i < rem_bytes else 0)
+        # Same shares as the single enumerate loop, but with the
+        # remainder branch hoisted into slice bounds: the first ``rem``
+        # slots take ``per + 1``, the rest take ``per`` — four tight
+        # loops with no per-slot conditionals (this loop walks every
+        # live flow in the fleet at the materialization boundary).
+        bump = per_pkts + 1
+        for slot in slots[:rem_pkts]:
+            packets[slot] += bump
+        if per_pkts:
+            for slot in slots[rem_pkts:]:
+                packets[slot] += per_pkts
+        bump = per_bytes + 1
+        for slot in slots[:rem_bytes]:
+            nbytes[slot] += bump
+        if per_bytes:
+            for slot in slots[rem_bytes:]:
+                nbytes[slot] += per_bytes
         return (pending_packets, pending_bytes)
 
     def totals(self) -> Tuple[int, int]:

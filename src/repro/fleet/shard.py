@@ -24,7 +24,20 @@ the whole shard-count-invariance argument (DESIGN §5.6).
 :func:`run_shard_epoch` is a top-level function over one picklable
 tuple, the :func:`repro.experiments.parallel.sweep` point contract; the
 :class:`ShardState` it threads through is arrays all the way down, so
-the round-trip through a pool worker is cheap.
+the round-trip through a pool worker is cheap — and under the resident
+pool (:class:`repro.experiments.parallel.ResidentPool`) the state never
+crosses the process boundary at all between epochs.
+
+The epoch step itself is **vectorized over the cold tail**: per-vSwitch
+epoch streams are drawn into plain columns first (one reused
+``random.Random`` reseeded per vSwitch with the exact
+``SeededRng(vswitch_seed(seed, g), f"e{epoch}")`` mix, so every draw
+value is bit-identical to the scalar path — :func:`_epoch_demand` stays
+as the reference implementation the regression tests compare against),
+the Table 1 inversions run bisect-per-element over those columns, and
+one tight pass does churn, pending-aggregate, and hot/cold
+classification with zero per-vSwitch object construction. Only the ~1%
+hot vSwitches drop into the per-index Python path.
 """
 
 from __future__ import annotations
@@ -32,7 +45,9 @@ from __future__ import annotations
 import math
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from hashlib import sha256
+from random import Random
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.rng import SeededRng, derive_seed
@@ -108,7 +123,7 @@ class ShardState:
     """
 
     __slots__ = ("lo", "hi", "store", "slots", "pending_pkts",
-                 "pending_bytes")
+                 "pending_bytes", "_seed_prefixes")
 
     def __init__(self, lo: int, hi: int) -> None:
         self.lo = lo
@@ -116,8 +131,14 @@ class ShardState:
         self.store = FleetFlowStore()
         n = hi - lo
         self.slots: List["array[int]"] = [array("l") for _ in range(n)]
-        self.pending_pkts: List[int] = [0] * n
-        self.pending_bytes: List[int] = [0] * n
+        self.pending_pkts = array("q", bytes(8 * n))
+        self.pending_bytes = array("q", bytes(8 * n))
+        #: (root seed, per-vSwitch ``b"{vswitch_seed}:"`` encodings) —
+        #: the SHA-256 input prefixes every epoch stream hashes with its
+        #: ``e{epoch}`` suffix. Derived once per shard lifetime instead
+        #: of once per epoch; deliberately NOT pickled (a resident
+        #: worker rebuilds it on first step and then keeps it).
+        self._seed_prefixes: Optional[Tuple[int, List[bytes]]] = None
 
     def __getstate__(self):
         return (self.lo, self.hi, self.store, self.slots,
@@ -126,6 +147,21 @@ class ShardState:
     def __setstate__(self, state) -> None:
         (self.lo, self.hi, self.store, self.slots,
          self.pending_pkts, self.pending_bytes) = state
+        self._seed_prefixes = None
+
+    def seed_prefixes(self, seed: int) -> List[bytes]:
+        """Per-vSwitch hash prefixes for the epoch-stream derivation.
+
+        ``SeededRng(vswitch_seed(seed, g), f"e{epoch}")`` seeds from
+        ``sha256(b"{vswitch_seed}:" + b"e{epoch}")`` — the prefix is
+        epoch-free, so it is computed once and reused every epoch."""
+        cached = self._seed_prefixes
+        if cached is None or cached[0] != seed:
+            prefixes = [b"%d:" % vswitch_seed(seed, g)
+                        for g in range(self.lo, self.hi)]
+            self._seed_prefixes = (seed, prefixes)
+            return prefixes
+        return cached[1]
 
     def __len__(self) -> int:
         return self.hi - self.lo
@@ -142,16 +178,23 @@ class ShardState:
         """Fold every vSwitch's pending aggregate into its flow slots —
         the end-of-run materialization boundary. Returns the shard's
         total (packets, bytes) including any unfoldable remainder from
-        vSwitches that ended with zero live flows."""
+        vSwitches that ended with zero live flows.
+
+        Pending accumulators are cleared unconditionally — including
+        when :meth:`FleetFlowStore.fold` returns ``(0, 0)`` because a
+        vSwitch has no live slots to fold into (its remainder is
+        accounted in the returned totals and nowhere else). That makes
+        the boundary idempotent: a second call finds every accumulator
+        zero and is a no-op returning ``(0, 0)``."""
         store = self.store
-        total_pkts = sum(self.pending_pkts)
-        total_bytes = sum(self.pending_bytes)
+        pending_pkts = self.pending_pkts
+        pending_bytes = self.pending_bytes
+        total_pkts = sum(pending_pkts)
+        total_bytes = sum(pending_bytes)
         for i, block in enumerate(self.slots):
-            folded = store.fold(block, self.pending_pkts[i],
-                                self.pending_bytes[i])
-            if folded != (0, 0):
-                self.pending_pkts[i] = 0
-                self.pending_bytes[i] = 0
+            store.fold(block, pending_pkts[i], pending_bytes[i])
+            pending_pkts[i] = 0
+            pending_bytes[i] = 0
         return total_pkts, total_bytes
 
 
@@ -163,7 +206,11 @@ def make_shards(params: FleetParams, shards: int) -> List[ShardState]:
 def _epoch_demand(seed: int, index: int, epoch: int,
                   dists) -> VSwitchDemand:
     """One vSwitch's demand redraw for one epoch: three uniforms in the
-    cps/flows/vnics order ``FleetModel.sample_demands`` established."""
+    cps/flows/vnics order ``FleetModel.sample_demands`` established.
+
+    This is the scalar *reference implementation* of the stream the
+    vectorized :func:`_epoch_uniform_columns` path must reproduce
+    bit-for-bit; the RNG-identity tests compare the two directly."""
     rng = SeededRng(vswitch_seed(seed, index), f"e{epoch}")
     cps_dist, flows_dist, vnics_dist = dists
     return VSwitchDemand(cps=cps_dist._invert(rng.random()),
@@ -171,75 +218,134 @@ def _epoch_demand(seed: int, index: int, epoch: int,
                          vnics=vnics_dist._invert(rng.random()))
 
 
-def demand_units(demand: VSwitchDemand, capacity: FleetCapacity) -> int:
+def _epoch_uniform_columns(state: ShardState, seed: int, epoch: int
+                           ) -> Tuple[List[float], List[float], List[float]]:
+    """The shard's raw demand uniforms for one epoch, as three columns.
+
+    One ``random.Random`` instance is reseeded per vSwitch with the
+    exact ``SeededRng`` mix (``sha256(b"{vswitch_seed}:e{epoch}")``
+    truncated to 64 bits) — ``Random(x)`` and ``Random().seed(x)``
+    build the identical Mersenne Twister state, so the three draws per
+    vSwitch match :func:`_epoch_demand` bit-for-bit without constructing
+    10K ``SeededRng`` objects per epoch."""
+    suffix = b"e%d" % epoch
+    rnd = Random()
+    reseed = rnd.seed
+    draw = rnd.random
+    from_bytes = int.from_bytes
+    u_cps: List[float] = []
+    u_flows: List[float] = []
+    u_vnics: List[float] = []
+    for prefix in state.seed_prefixes(seed):
+        reseed(from_bytes(sha256(prefix + suffix).digest()[:8], "big"))
+        u_cps.append(draw())
+        u_flows.append(draw())
+        u_vnics.append(draw())
+    return u_cps, u_flows, u_vnics
+
+
+def demand_units(demand: VSwitchDemand, capacity: FleetCapacity,
+                 ratio: Optional[float] = None) -> int:
     """FE units a hot vSwitch requests: enough extra capacity to cover
-    its worst kind's excess over the BE (one unit = one BE's worth)."""
-    ratio = max(demand.cps / capacity.cps,
-                demand.flows / capacity.flows,
-                demand.vnics / capacity.vnics)
+    its worst kind's excess over the BE (one unit = one BE's worth).
+
+    ``ratio`` is the worst demand/capacity ratio when the caller has
+    already computed it (the epoch step needs the same number for the
+    micro-sim); left ``None`` it is derived here."""
+    if ratio is None:
+        ratio = max(demand.cps / capacity.cps,
+                    demand.flows / capacity.flows,
+                    demand.vnics / capacity.vnics)
     return max(1, math.ceil(ratio) - 1)
 
 
 def run_shard_epoch(point) -> Tuple[ShardState, Dict[str, object]]:
-    """Advance one shard one epoch; the ``sweep()`` point function.
+    """Advance one shard one epoch; the ``sweep()`` point function and
+    the resident pool's per-epoch actor step.
 
     ``point`` is ``(state, epoch, grants, params)`` where ``grants`` maps
     the global indices holding an active FE grant (decided by the
     coordinator from the *previous* epoch's reports) to their unit
     counts. Returns the advanced state plus a plain-data report:
     integer-only cold aggregates and an index-ascending hot list.
+
+    Structure: draw the epoch's uniforms into columns, invert the
+    Table 1 distributions column-wise, then one pass over the range does
+    churn + pending aggregates + hot/cold classification on the
+    precomputed values. The pass mutates the store in ascending global
+    index order — exactly the scalar path's order, so slot recycling and
+    every report field are unchanged.
     """
     state, epoch, grants, params = point
-    dists = (usage_dist("cps"), usage_dist("flows"), usage_dist("vnics"))
     capacity = params.capacity
     store = state.store
     churn_cap = params.churn_cap
-    cold = {"count": 0, "flows": 0, "pkts": 0, "bytes": 0,
-            "born": 0, "died": 0}
+    seed_epoch = epoch == 0
+
+    u_cps, u_flows, u_vnics = _epoch_uniform_columns(state, params.seed,
+                                                     epoch)
+    cps_col = usage_dist("cps").invert_n(u_cps)
+    flows_col = usage_dist("flows").invert_n(u_flows)
+    vnics_col = usage_dist("vnics").invert_n(u_vnics)
+
+    cap_cps = capacity.cps
+    cap_flows = capacity.flows
+    cap_vnics = capacity.vnics
+    flows_per_unit = params.flows_per_unit
+    conns_per_unit = params.conns_per_unit
+    pkts_per_conn = params.pkts_per_conn
+    avg_pkt_bytes = params.avg_pkt_bytes
+    slots = state.slots
+    pending_pkts = state.pending_pkts
+    pending_bytes = state.pending_bytes
+    lo = state.lo
+
+    cold_count = cold_flows = cold_pkts = cold_bytes = 0
+    born_total = died_total = 0
     hot: List[Dict[str, object]] = []
 
-    for i in range(state.hi - state.lo):
-        g = state.lo + i
-        demand = _epoch_demand(params.seed, g, epoch, dists)
+    for i in range(state.hi - lo):
+        cps = cps_col[i]
+        flows = flows_col[i]
 
         # -- flow churn toward this epoch's target population ----------
-        target = int(demand.flows * params.flows_per_unit)
-        block = state.slots[i]
+        target = int(flows * flows_per_unit)
+        block = slots[i]
         delta = target - len(block)
         if delta > 0:
-            born = delta if epoch == 0 else min(delta, churn_cap)
+            born = delta if seed_epoch or delta < churn_cap else churn_cap
             block.extend(store.alloc_block(born))
-            cold["born"] += born
+            born_total += born
         elif delta < 0:
-            died = min(-delta, churn_cap)
+            died = -delta if -delta < churn_cap else churn_cap
             # Fold what the dying flows have pending before they leave:
             # their history is part of the fleet totals either way, but
             # folding first keeps the per-slot shares exact.
             doomed = block[len(block) - died:]
             del block[len(block) - died:]
             store.free_block(doomed)
-            cold["died"] += died
+            died_total += died
 
         # -- fluid traffic: two pending ints, O(1) per epoch -----------
-        pkts = int(demand.cps * params.conns_per_unit) * params.pkts_per_conn
-        nbytes = pkts * params.avg_pkt_bytes
-        state.pending_pkts[i] += pkts
-        state.pending_bytes[i] += nbytes
+        pkts = int(cps * conns_per_unit) * pkts_per_conn
+        nbytes = pkts * avg_pkt_bytes
+        pending_pkts[i] += pkts
+        pending_bytes[i] += nbytes
 
-        kinds = demand.hotspots(capacity)
-        if kinds:
-            granted = g in grants
-            ratio = max(demand.cps / capacity.cps,
-                        demand.flows / capacity.flows,
-                        demand.vnics / capacity.vnics)
+        if cps > cap_cps or flows > cap_flows or vnics_col[i] > cap_vnics:
+            g = lo + i
+            demand = VSwitchDemand(cps=cps, flows=flows, vnics=vnics_col[i])
+            kinds = demand.hotspots(capacity)
+            ratio = max(cps / cap_cps, flows / cap_flows,
+                        vnics_col[i] / cap_vnics)
             sim = simulate_hot_epoch(
                 seed=derive_seed(params.seed, f"fleet/hot/e{epoch}/vs{g}"),
-                demand_ratio=ratio, granted=granted,
+                demand_ratio=ratio, granted=g in grants,
                 duration=params.hot_sim_duration)
             entry: Dict[str, object] = {
                 "index": g,
                 "kinds": [kind.value for kind in kinds],
-                "units": demand_units(demand, capacity),
+                "units": demand_units(demand, capacity, ratio),
                 "flows": len(block),
                 "pkts": pkts,
                 "bytes": nbytes,
@@ -247,11 +353,13 @@ def run_shard_epoch(point) -> Tuple[ShardState, Dict[str, object]]:
             entry.update(sim)
             hot.append(entry)
         else:
-            cold["count"] += 1
-            cold["flows"] += len(block)
-            cold["pkts"] += pkts
-            cold["bytes"] += nbytes
+            cold_count += 1
+            cold_flows += len(block)
+            cold_pkts += pkts
+            cold_bytes += nbytes
 
-    report: Dict[str, object] = {"epoch": epoch, "lo": state.lo,
+    cold = {"count": cold_count, "flows": cold_flows, "pkts": cold_pkts,
+            "bytes": cold_bytes, "born": born_total, "died": died_total}
+    report: Dict[str, object] = {"epoch": epoch, "lo": lo,
                                  "hi": state.hi, "cold": cold, "hot": hot}
     return state, report

@@ -67,6 +67,36 @@ class QuantileDistribution:
         return math.exp(self._logs[j - 1] * (1 - frac)
                         + self._logs[j] * frac)
 
+    def invert_n(self, qs: Sequence[float]) -> List[float]:
+        """:meth:`_invert` applied bisect-per-element over a column of
+        in-range quantiles.
+
+        Bit-identical to ``[dist._invert(q) for q in qs]`` — same bisect,
+        same log-linear expression — but with the anchor lookups hoisted
+        out of the loop, for callers that invert whole per-vSwitch
+        columns at once (the fleet's vectorized cold-tail step)."""
+        anchor_qs = self._qs
+        logs = self._logs
+        anchors = self.anchors
+        n_anchors = len(anchor_qs)
+        top = anchors[-1][1]
+        bl = bisect_left
+        exp = math.exp
+        out: List[float] = []
+        append = out.append
+        for q in qs:
+            j = bl(anchor_qs, q, 1)
+            if j >= n_anchors:
+                append(top)
+                continue
+            q0, q1 = anchor_qs[j - 1], anchor_qs[j]
+            if q1 == q0:
+                append(anchors[j][1])
+                continue
+            frac = (q - q0) / (q1 - q0)
+            append(exp(logs[j - 1] * (1 - frac) + logs[j] * frac))
+        return out
+
     def quantile(self, q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"q out of range: {q}")
@@ -113,19 +143,35 @@ def memory_utilization_dist() -> QuantileDistribution:
     ])
 
 
+#: Table 1 anchor points, normalized to the P9999 user (=1.0).
+_USAGE_ANCHORS = {
+    "cps": [(0.0, 0.0005), (0.5, 0.0053), (0.9, 0.0141),
+            (0.99, 0.0641), (0.999, 0.1838), (0.9999, 1.0), (1.0, 1.0)],
+    "flows": [(0.0, 0.0005), (0.5, 0.0078), (0.9, 0.0236),
+              (0.99, 0.0639), (0.999, 0.2917), (0.9999, 1.0), (1.0, 1.0)],
+    "vnics": [(0.0, 0.0005), (0.5, 0.0065), (0.9, 0.01),
+              (0.99, 0.06), (0.999, 0.55), (0.9999, 1.0), (1.0, 1.0)],
+}
+_USAGE_DISTS: Dict[str, QuantileDistribution] = {}
+
+
 def usage_dist(metric: str) -> QuantileDistribution:
-    """Table 1: per-VM service usage normalized to the P9999 user (=1.0)."""
-    anchors = {
-        "cps": [(0.0, 0.0005), (0.5, 0.0053), (0.9, 0.0141),
-                (0.99, 0.0641), (0.999, 0.1838), (0.9999, 1.0), (1.0, 1.0)],
-        "flows": [(0.0, 0.0005), (0.5, 0.0078), (0.9, 0.0236),
-                  (0.99, 0.0639), (0.999, 0.2917), (0.9999, 1.0), (1.0, 1.0)],
-        "vnics": [(0.0, 0.0005), (0.5, 0.0065), (0.9, 0.01),
-                  (0.99, 0.06), (0.999, 0.55), (0.9999, 1.0), (1.0, 1.0)],
-    }
-    if metric not in anchors:
-        raise ConfigError(f"unknown usage metric {metric!r}")
-    return QuantileDistribution(anchors[metric])
+    """Table 1: per-VM service usage normalized to the P9999 user (=1.0).
+
+    Memoized per metric: the fleet's shard workers call this on every
+    epoch step, and re-parsing the anchors (plus the log precomputation)
+    per call was measurable at 10K vSwitches. A distribution is
+    anchor-immutable after construction, so sharing one instance — and
+    its ``mean_estimate`` cache — is output-invisible; the regression
+    tests in ``tests/test_fleet_model.py`` pin the sampled streams.
+    """
+    dist = _USAGE_DISTS.get(metric)
+    if dist is None:
+        if metric not in _USAGE_ANCHORS:
+            raise ConfigError(f"unknown usage metric {metric!r}")
+        dist = _USAGE_DISTS[metric] = QuantileDistribution(
+            _USAGE_ANCHORS[metric])
+    return dist
 
 
 class HotspotKind(enum.Enum):

@@ -136,6 +136,42 @@ def test_mean_estimate_cache_is_per_resolution():
     assert set(dist._mean_cache) == {100, 10_000}
 
 
+# -- memoized usage_dist + column inversion (ISSUE 8 satellites) ----------------
+
+def test_usage_dist_returns_the_memoized_instance():
+    # Module-level memoization: every caller shares one distribution per
+    # metric (the anchors are immutable), so per-epoch usage_dist calls
+    # stop re-validating and re-building anchor tables.
+    assert usage_dist("cps") is usage_dist("cps")
+    assert usage_dist("flows") is usage_dist("flows")
+    assert usage_dist("cps") is not usage_dist("flows")
+
+
+def test_usage_dist_memoization_preserves_output_streams():
+    # RNG/output identity: the memoized instance must sample exactly
+    # what a freshly built QuantileDistribution over the same anchors
+    # did before memoization existed.
+    from repro.workloads.fleet import _USAGE_ANCHORS
+    for metric in ("cps", "flows", "vnics"):
+        fresh = QuantileDistribution(_USAGE_ANCHORS[metric])
+        memoized = usage_dist(metric)
+        rng_a = SeededRng(11, metric)
+        rng_b = SeededRng(11, metric)
+        assert [memoized.sample(rng_a) for _ in range(300)] \
+            == [fresh.sample(rng_b) for _ in range(300)]
+
+
+def test_invert_n_matches_scalar_invert_exactly():
+    # The fleet's vectorized cold tail inverts whole uniform columns at
+    # once; every element must be bit-identical to the scalar _invert.
+    rng = SeededRng(13, "inv")
+    qs = [rng.random() for _ in range(500)] + [0.0, 1.0]
+    for metric in ("cps", "flows", "vnics"):
+        dist = usage_dist(metric)
+        assert dist.invert_n(qs) == [dist._invert(q) for q in qs]
+    assert usage_dist("cps").invert_n([]) == []
+
+
 # -- hotspot classification (Fig 3) ------------------------------------------------------
 
 def test_hotspot_distribution_matches_fig3():

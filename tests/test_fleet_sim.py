@@ -219,6 +219,120 @@ def test_shard_hot_lists_ascend_globally():
     assert indices == sorted(indices)
 
 
+# -- vectorized cold tail: RNG stream identity (ISSUE 8) --------------------
+
+def test_epoch_uniform_columns_match_scalar_rng_exactly():
+    """The vectorized draw (one reused Random reseeded per vSwitch from
+    cached hash prefixes) must reproduce the scalar reference stream
+    ``SeededRng(vswitch_seed(seed, g), f"e{epoch}")`` bit-for-bit."""
+    from repro.fleet.shard import _epoch_uniform_columns
+    from repro.sim.rng import SeededRng
+    params = FleetParams(seed=3, n_vswitches=40)
+    state = make_shards(params, 1)[0]
+    for epoch in (0, 1, 7):
+        u_cps, u_flows, u_vnics = _epoch_uniform_columns(state, 3, epoch)
+        for i in range(40):
+            rng = SeededRng(vswitch_seed(3, i), f"e{epoch}")
+            assert (u_cps[i], u_flows[i], u_vnics[i]) \
+                == (rng.random(), rng.random(), rng.random())
+
+
+def test_epoch_columns_invert_to_scalar_demands():
+    """Column inversion of the uniforms == the boxed scalar reference
+    (_epoch_demand) for every vSwitch — the end-to-end identity the
+    vectorized epoch step rests on."""
+    from repro.fleet.shard import _epoch_demand, _epoch_uniform_columns
+    from repro.workloads.fleet import usage_dist
+    params = FleetParams(seed=5, n_vswitches=30)
+    state = make_shards(params, 1)[0]
+    dists = (usage_dist("cps"), usage_dist("flows"), usage_dist("vnics"))
+    u_cps, u_flows, u_vnics = _epoch_uniform_columns(state, 5, 2)
+    cps_col = dists[0].invert_n(u_cps)
+    flows_col = dists[1].invert_n(u_flows)
+    vnics_col = dists[2].invert_n(u_vnics)
+    for i in range(30):
+        demand = _epoch_demand(5, i, 2, dists)
+        assert (cps_col[i], flows_col[i], vnics_col[i]) \
+            == (demand.cps, demand.flows, demand.vnics)
+
+
+def test_seed_prefixes_cached_per_root_seed():
+    state = make_shards(FleetParams(seed=0, n_vswitches=10), 1)[0]
+    first = state.seed_prefixes(0)
+    assert state.seed_prefixes(0) is first          # cached
+    other = state.seed_prefixes(1)                  # reseed invalidates
+    assert other != first and state.seed_prefixes(1) is other
+    assert first == [b"%d:" % vswitch_seed(0, g) for g in range(10)]
+
+
+def test_shard_state_pickle_drops_prefix_cache():
+    import pickle
+    state = make_shards(FleetParams(seed=0, n_vswitches=10), 1)[0]
+    state.seed_prefixes(0)
+    clone = pickle.loads(pickle.dumps(state))
+    assert clone._seed_prefixes is None             # rebuilt lazily
+    assert clone.seed_prefixes(0) == state.seed_prefixes(0)
+
+
+# -- materialization idempotency (ISSUE 8 satellite) ------------------------
+
+def test_materialize_is_idempotent_and_clears_pending():
+    params = FleetParams(seed=0, n_vswitches=50)
+    state = make_shards(params, 1)[0]
+    for epoch in range(2):
+        state, _report = run_shard_epoch((state, epoch, {}, params))
+    first = state.materialize()
+    assert first != (0, 0)
+    assert not any(state.pending_pkts) and not any(state.pending_bytes)
+    assert state.materialize() == (0, 0)            # second call: no-op
+    totals_after_first = state.store.totals()
+    state.materialize()
+    assert state.store.totals() == totals_after_first
+
+
+def test_materialize_clears_pending_without_live_slots():
+    # A vSwitch that ends an epoch with zero live flows cannot fold its
+    # pending traffic into slots; the remainder is returned once and the
+    # accumulator still clears — no double counting on a second pass.
+    state = make_shards(FleetParams(seed=0, n_vswitches=2), 1)[0]
+    state.pending_pkts[0] = 7
+    state.pending_bytes[0] = 700
+    assert state.materialize() == (7, 700)
+    assert state.pending_pkts[0] == 0 and state.pending_bytes[0] == 0
+    assert state.materialize() == (0, 0)
+    assert state.store.totals() == (0, 0)           # nowhere to fold
+
+
+# -- hot micro-sim: fluid fast-forward identity (ISSUE 8) -------------------
+
+def test_hot_sim_fluid_fast_forward_is_output_identical():
+    """simulate_hot_epoch(fluid=True) — the default — must return the
+    same measurements as the per-packet fluid=False run: the §5.5
+    fast-forward is a wall-clock optimization, never an output one."""
+    for seed, ratio, granted in ((7, 3.0, False), (11, 6.0, False),
+                                 (11, 6.0, True), (23, 1.2, False)):
+        fast = simulate_hot_epoch(seed=seed, demand_ratio=ratio,
+                                  granted=granted, fluid=True)
+        slow = simulate_hot_epoch(seed=seed, demand_ratio=ratio,
+                                  granted=granted, fluid=False)
+        assert fast == slow
+
+
+def test_hot_sim_restores_global_fluid_mode():
+    from repro.vswitch.flow_records import FluidMode
+    prior = FluidMode.enabled
+    try:
+        FluidMode.enabled = False
+        simulate_hot_epoch(seed=7, demand_ratio=2.0, granted=False)
+        assert FluidMode.enabled is False
+        FluidMode.enabled = True
+        simulate_hot_epoch(seed=7, demand_ratio=2.0, granted=False,
+                           fluid=False)
+        assert FluidMode.enabled is True
+    finally:
+        FluidMode.enabled = prior
+
+
 # -- the experiment: byte-identity across shard counts ----------------------
 
 def test_fleet_experiment_identical_across_shard_counts():
@@ -242,6 +356,23 @@ def test_fleet_experiment_identical_with_pool_and_telemetry():
     finally:
         telemetry.uninstall()
     assert composed == base
+
+
+def test_fleet_experiment_identity_matrix_shards_jobs_resident():
+    """The PR 8 determinism matrix: every shards × jobs × residency
+    combination renders the byte-identical table. jobs=1 is the legacy
+    in-process loop (resident=True degenerates to it in-process — no
+    worker processes, no pickling); jobs=2 exercises the real pool both
+    per-epoch-swept and resident."""
+    import itertools
+    from repro.experiments import fleet
+    base = fleet.run(shards=1, jobs=1, resident=False,
+                     **FLEET_KWARGS).to_text()
+    for shards, jobs, resident in itertools.product(
+            (1, 2, 4), (1, 2), (False, True)):
+        text = fleet.run(shards=shards, jobs=jobs, resident=resident,
+                         **FLEET_KWARGS).to_text()
+        assert text == base, (shards, jobs, resident)
 
 
 def test_fleet_experiment_seed_sensitivity():
@@ -286,15 +417,36 @@ def test_cli_rejects_bad_shards(capsys):
         main(["fleet", "--shards", "0"])
 
 
+def test_cli_fleet_resident_flag(capsys):
+    from repro.experiments.runner import main
+    assert main(["fleet", "--fast", "--shards", "2", "--jobs", "2",
+                 "--resident"]) == 0
+    resident_out = capsys.readouterr().out
+    assert main(["fleet", "--fast", "--shards", "2", "--jobs", "2",
+                 "--no-resident"]) == 0
+    swept_out = capsys.readouterr().out
+
+    def table(out):  # strip the timing line, keep the rendered result
+        return out.split("[fleet finished")[0]
+
+    assert table(resident_out) == table(swept_out)
+    assert "residency mode" in resident_out
+
+
 def test_runner_forwards_shards_only_when_accepted():
     from repro.experiments.runner import _run_kwargs
 
-    def fleet_like(seed=0, jobs=1, shards=None):
+    def fleet_like(seed=0, jobs=1, shards=None, resident=None):
         pass
 
     def classic(seed=0, jobs=1):
         pass
 
-    assert _run_kwargs(fleet_like, 3, 2, 4) == dict(seed=3, jobs=2, shards=4)
+    assert _run_kwargs(fleet_like, 3, 2, 4) \
+        == dict(seed=3, jobs=2, shards=4)
+    assert _run_kwargs(fleet_like, 3, 2, 4, True) \
+        == dict(seed=3, jobs=2, shards=4, resident=True)
+    assert _run_kwargs(fleet_like, 3, 2, None, False) \
+        == dict(seed=3, jobs=2, resident=False)
     assert _run_kwargs(fleet_like, 3, 2, None) == dict(seed=3, jobs=2)
-    assert _run_kwargs(classic, 3, 2, 4) == dict(seed=3, jobs=2)
+    assert _run_kwargs(classic, 3, 2, 4, True) == dict(seed=3, jobs=2)

@@ -181,25 +181,37 @@ def run_experiments_mode(args) -> int:
 
 
 def print_fleet_table(entries: dict) -> None:
-    print(f"{'point':<12} {'vswitches':>9} {'wall s':>8} {'peak MB':>9} "
-          f"{'naive MB':>9} {'ratio':>7} {'flows':>9}")
+    print(f"{'point':<13} {'vswitches':>9} {'wall s':>8} {'seed s':>7} "
+          f"{'steady s':>8} {'peak MB':>9} {'naive MB':>9} {'ratio':>7} "
+          f"{'flows':>9} {'ipc B/ep':>9}")
     for name, entry in entries.items():
         wall = entry.get("wall_s")
-        print(f"{name:<12} {entry['n_vswitches']:>9} "
+        seed_s = entry.get("seed_epoch_s")
+        steady_s = entry.get("steady_epoch_s")
+        resident = entry.get("resident") or {}
+        ipc = resident.get("ipc_bytes_per_epoch")
+        print(f"{name:<13} {entry['n_vswitches']:>9} "
               f"{wall if wall is not None else '-':>8} "
+              f"{seed_s if seed_s is not None else '-':>7} "
+              f"{steady_s if steady_s is not None else '-':>8} "
               f"{entry['peak_mb']:>9.1f} {entry['naive_mb']:>9.1f} "
-              f"{entry['peak_over_naive']:>7.3f} {entry['live_flows']:>9}")
+              f"{entry['peak_over_naive']:>7.3f} {entry['live_flows']:>9} "
+              f"{ipc if ipc is not None else '-':>9}")
 
 
 def run_fleet_mode(args) -> int:
     """Fleet macro mode: wall clock + tracemalloc peak per scale point.
 
-    Without ``--smoke``: runs every scale point (500/1K/10K vSwitches),
-    enforces the ISSUE 7 bar — peak memory ≤ 25% of naive per-object
-    sessions at the full scales — and writes BENCH_fleet.json.
+    Without ``--smoke``: runs every scale point (500/1K/10K/100K
+    vSwitches), enforces the ISSUE 7 bar — peak memory ≤ 25% of naive
+    per-object sessions at the full scales — records per-phase timings
+    (seed vs steady epochs) plus each scale's resident-pool IPC
+    accounting, and writes BENCH_fleet.json.
     With ``--smoke``: re-runs only the 500-vSwitch point, requires the
-    shards-1-vs-2 output to be byte-identical, and gates its peak memory
-    against the committed baseline (per-entry ``gate_tolerance``).
+    shards-1-vs-2 output to be byte-identical AND the resident-pool
+    output (at 400 vSwitches, pool on vs off) to be byte-identical, and
+    gates its peak memory against the committed baseline (per-entry
+    ``gate_tolerance``).
     """
     output = args.output if args.output != DEFAULT_OUTPUT \
         else DEFAULT_FLEET_OUTPUT
@@ -210,6 +222,10 @@ def run_fleet_mode(args) -> int:
         if not entry["identical_across_shards"]:
             print("\nerror: fleet output diverged between shards=1 and "
                   "shards=2", file=sys.stderr)
+            return 1
+        if not entry["identical_with_resident_pool"]:
+            print("\nerror: fleet output diverged between the resident "
+                  "worker pool and the per-epoch sweep", file=sys.stderr)
             return 1
         if not output.exists():
             print(f"error: no baseline at {output}; run --fleet without "
@@ -229,8 +245,8 @@ def run_fleet_mode(args) -> int:
                   f" exceeds baseline {baseline['peak_mb']:.1f} MB by more "
                   f"than {tolerance:.0%}", file=sys.stderr)
             return 1
-        print(f"\nfleet smoke OK: shard-identical output, peak within "
-              f"{tolerance:.0%} of {output.name}")
+        print(f"\nfleet smoke OK: shard- and residency-identical output, "
+              f"peak within {tolerance:.0%} of {output.name}")
         return 0
 
     entries = run_fleet_suite()

@@ -74,6 +74,13 @@ MACRO_BENCHES: List[MacroBench] = [
         "in quick mode)", "fleet",
         quick_kwargs=dict(n_vswitches=400, epochs=2),
         full_kwargs=dict()),
+    MacroBench(
+        "policy_arena", "load-sharing policies head-to-head (reduced "
+        "testbed + fleet in quick mode)", "policy_arena",
+        quick_kwargs=dict(duration=0.4, warmup=0.2,
+                          concurrency_per_client=16,
+                          fleet_vswitches=300, fleet_epochs=2),
+        full_kwargs=dict()),
 ]
 
 # ``all --fast`` exercises the runner-level fan-out: whole experiments

@@ -11,6 +11,12 @@
 * :class:`NezhaController` — the reconciliation loop tying it together:
   offload at 70 % utilization, scale at 40 %, fallback when safe,
   failover on crash (Fig 8, §4.2–4.4).
+* :class:`LoadSharingPolicy` — the controller's decision seam (what to
+  offload, where, when to scale/fall back) with four competing
+  strategies: :class:`NezhaPolicy` (the paper, default),
+  :class:`PamPolicy` (push-neighbor-aside FE migration),
+  :class:`SuperNicPolicy` (per-tenant fair shares + preemption), and
+  :class:`SiriusPolicy` (no load sharing at all).
 
 Attributes are resolved lazily (PEP 562) because the Nezha core and the
 controller reference each other: the orchestrator updates the gateway,
@@ -23,6 +29,14 @@ _EXPORTS = {
     "HealthMonitor": ("repro.controller.monitor", "HealthMonitor"),
     "MutualPing": ("repro.controller.monitor", "MutualPing"),
     "FePlacement": ("repro.controller.placement", "FePlacement"),
+    "LoadSharingPolicy": ("repro.controller.policy", "LoadSharingPolicy"),
+    "NezhaPolicy": ("repro.controller.policy", "NezhaPolicy"),
+    "PamPolicy": ("repro.controller.policy", "PamPolicy"),
+    "SuperNicPolicy": ("repro.controller.policy", "SuperNicPolicy"),
+    "SiriusPolicy": ("repro.controller.policy", "SiriusPolicy"),
+    "POLICIES": ("repro.controller.policy", "POLICIES"),
+    "POLICY_NAMES": ("repro.controller.policy", "POLICY_NAMES"),
+    "make_policy": ("repro.controller.policy", "make_policy"),
     "NezhaController": ("repro.controller.controller", "NezhaController"),
     "ControllerConfig": ("repro.controller.controller", "ControllerConfig"),
     "bootstrap_learners": ("repro.controller.controller",

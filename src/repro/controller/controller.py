@@ -33,8 +33,9 @@ from repro import telemetry as _telemetry
 from repro.vswitch.vnic import Vnic
 from repro.vswitch.vswitch import VSwitch
 from repro.controller.gateway import Gateway, MappingLearner
-from repro.controller.monitor import HealthMonitor
+from repro.controller.monitor import HealthMonitor, MutualPing
 from repro.controller.placement import FePlacement
+from repro.controller.policy import LoadSharingPolicy, NezhaPolicy
 from repro.core.offload import (NezhaOrchestrator, OffloadHandle,
                                 OffloadState)
 
@@ -71,7 +72,8 @@ class NezhaController:
                  config: Optional[ControllerConfig] = None,
                  monitor: Optional[HealthMonitor] = None,
                  trace: Optional[Trace] = None,
-                 rng: Optional[SeededRng] = None) -> None:
+                 rng: Optional[SeededRng] = None,
+                 policy: Optional[LoadSharingPolicy] = None) -> None:
         self.engine = engine
         self.gateway = gateway
         self.orchestrator = orchestrator
@@ -81,8 +83,15 @@ class NezhaController:
         self.trace = trace or _telemetry.active_trace(engine) \
             or Trace(lambda: engine.now)
         self.rng = rng or SeededRng(0, "controller")
+        # The decision seam: what to offload, where, when to scale or
+        # fall back. Default is the paper's strategy, unchanged.
+        self.policy = policy or NezhaPolicy()
+        self.policy.bind(self)
         self.nodes: Dict[str, _NodeBook] = {}
         self._fallback_idle_polls: Dict[int, int] = {}
+        # BE↔FE pingers by vNIC id (see watch_links): tracked so they can
+        # be stopped when the handle or the watched FE goes away.
+        self._link_pingers: Dict[int, List[MutualPing]] = {}
         self._started = False
         self._proc = None
         # vNICs with an offload or scale-out flow still in flight: the
@@ -169,7 +178,7 @@ class NezhaController:
                         mem > self.config.memory_offload_threshold
                         and cpu <= self.config.offload_threshold))
                 elif cpu > self.config.scale_threshold:
-                    self._scale(book, cpu)
+                    self.policy.scale(book, cpu)
             except ReproError as err:
                 self._degraded("reconcile", vswitch.name, err)
         try:
@@ -181,6 +190,11 @@ class NezhaController:
                 self._consider_fallbacks()
             except ReproError as err:
                 self._degraded("fallback", "-", err)
+        try:
+            self.policy.reconcile_tail()
+        except ReproError as err:
+            self._degraded("policy_tail", "-", err)
+        self._prune_link_pingers()
 
     def _degraded(self, step: str, target: str, err: Exception) -> None:
         self.reconcile_errors += 1
@@ -246,18 +260,15 @@ class NezhaController:
                       and v.vnic_id not in self._inflight_vnics]
         if not candidates:
             return
-        if by_memory:
-            candidates.sort(key=lambda v: -v.table_memory_bytes())
-        else:
-            candidates.sort(
-                key=lambda v: -book.vnic_rates.get(v.vnic_id, 0.0))
-        # Offload in descending consumption until projected below safe.
+        candidates = self.policy.offload_order(book, candidates, by_memory)
+        # Offload in policy order until projected below the safe level.
         utilization = (vswitch.memory_utilization() if by_memory
                        else vswitch.cpu_utilization())
         for vnic in candidates:
             if utilization <= self.config.safe_level:
                 break
-            fes = self.placement.select(vswitch, self.config.initial_fes)
+            fes = self.policy.select_fes(vswitch, self.config.initial_fes,
+                                         vnic=vnic)
             if not fes:
                 self._decide("no_fes", vnic=vnic.vnic_id)
                 return
@@ -271,54 +282,31 @@ class NezhaController:
             if self.monitor is not None:
                 for fe in fes:
                     self.monitor.add_target(fe.server)
-            share = book.vnic_rates.get(vnic.vnic_id, 0.0)
-            total_rate = sum(book.vnic_rates.values()) or 1.0
-            utilization *= max(0.0, 1.0 - share / total_rate)
-
-    # -- scaling (Fig 8) ------------------------------------------------------------------------
-
-    def _scale(self, book: _NodeBook, cpu: float) -> None:
-        vswitch = book.vswitch
-        agent = self.orchestrator.agents.get(vswitch.name)
-        if agent is None or not agent.frontends:
-            return  # nothing Nezha-related to scale here
-        remote_share = agent.fe_load()
-        if remote_share >= self.config.remote_dominant_fraction:
-            # Remote offloading overloads this host: scale those vNICs out.
-            for vnic_id in list(agent.frontends):
-                handle = self.orchestrator.handles.get(vnic_id)
-                if handle is None or vnic_id in self._inflight_vnics:
-                    # An earlier scale-out for this vNIC is still in
-                    # flight; its FE is not visible in the handle yet, so
-                    # acting again would serially over-scale the vNIC.
-                    continue
-                new_fes = self.placement.select(
-                    handle.be_vswitch, 1,
-                    avoid={vs.server.name for vs in handle.fe_vswitches})
-                if new_fes:
-                    done = self.orchestrator.scale_out(handle, new_fes)
-                    self._track_flow(vnic_id, done)
-                    self.scale_outs += 1
-                    self._decide("scale_out", vnic=vnic_id,
-                                 fe=new_fes[0].name, cpu=round(cpu, 4),
-                                 remote_share=round(remote_share, 4))
-        else:
-            # Local traffic needs the resources: evict every hosted FE.
-            self.placement.exclude(vswitch)
-            removed = self.orchestrator.scale_in_vswitch(vswitch)
-            if removed:
-                self.scale_ins += 1
-                self._decide("scale_in", vswitch=vswitch.name,
-                             removed=removed, cpu=round(cpu, 4),
-                             remote_share=round(remote_share, 4))
+            utilization = self.policy.project(utilization, vnic, book,
+                                              by_memory)
 
     # -- fallback --------------------------------------------------------------------------------
 
     def _consider_fallbacks(self) -> None:
-        for handle in list(self.orchestrator.handles.values()):
+        handles = self.orchestrator.handles
+        # Prune idle-poll streaks whose handle left ACTIVE (fallback,
+        # abort, failover teardown, scale-in): the dict would otherwise
+        # grow without bound, and a re-offloaded vNIC (same id, fresh
+        # handle — still DUAL_RUNNING at this point) would inherit the
+        # stale streak and fall back the moment it activates.
+        for vnic_id in list(self._fallback_idle_polls):
+            handle = handles.get(vnic_id)
+            if handle is None or handle.state is not OffloadState.ACTIVE:
+                del self._fallback_idle_polls[vnic_id]
+        for handle in list(handles.values()):
             if handle.state is not OffloadState.ACTIVE:
                 continue
             vnic_id = handle.vnic.vnic_id
+            if vnic_id in self._inflight_vnics:
+                # A scale-out for this vNIC is still in flight; falling
+                # back now would tear the handle down under the flow and
+                # orphan the FE it is about to add.
+                continue
             fe_usage = max((fe.vswitch.cpu_utilization()
                             for fe in handle.frontends.values()),
                            default=0.0)
@@ -330,11 +318,10 @@ class NezhaController:
             if self._fallback_idle_polls.get(vnic_id, 0) \
                     < self.config.fallback_polls:
                 continue
-            be = handle.be_vswitch
-            # Only fall back when the BE can absorb the load afterwards.
-            projected = be.cpu_utilization() + fe_usage * len(handle.frontends)
-            if (projected < self.config.safe_level
-                    and be.mem.available() >= handle.vnic.table_memory_bytes()):
+            allowed, projected = self.policy.fallback_decision(handle,
+                                                               fe_usage)
+            if allowed:
+                self._stop_link_pingers(vnic_id)
                 self.orchestrator.fallback(handle)
                 self.fallbacks += 1
                 self._fallback_idle_polls.pop(vnic_id, None)
@@ -350,15 +337,19 @@ class NezhaController:
 
         The centralized monitor sees vSwitch health but not BE↔FE link
         connectivity; mutual pings (at a much lower frequency) remove FEs
-        the BE cannot reach. Returns the started pingers.
+        the BE cannot reach. Pingers are tracked per vNIC and stopped
+        when the handle falls back or the watched FE is removed
+        (failover, scale-in, preemption) — a leaked pinger keeps firing
+        and can ``exclude``/``fail_fe`` a vSwitch that no longer hosts
+        this FE. Returns the started pingers.
         """
-        from repro.controller.monitor import MutualPing
         pingers = []
         for fe_vswitch in handle.fe_vswitches:
             ping = MutualPing(self.engine, handle.be_vswitch, fe_vswitch,
                               interval=interval)
 
-            def on_unreachable(fe=fe_vswitch, p=None):
+            def on_unreachable(fe=fe_vswitch, p=ping):
+                p.stop()
                 self._decide("link_failover",
                              fe=fe.name, be=handle.be_vswitch.name)
                 self.placement.exclude(fe)
@@ -367,7 +358,31 @@ class NezhaController:
             ping.on_unreachable = on_unreachable
             ping.start()
             pingers.append(ping)
+        self._link_pingers.setdefault(handle.vnic.vnic_id,
+                                      []).extend(pingers)
         return pingers
+
+    def _stop_link_pingers(self, vnic_id: int) -> None:
+        """Stop every pinger watching this vNIC's FEs (fallback path)."""
+        for ping in self._link_pingers.pop(vnic_id, []):
+            ping.stop()
+
+    def _prune_link_pingers(self) -> None:
+        """Stop pingers whose handle went away or whose watched FE was
+        removed underneath them (failover, scale-in, preemption)."""
+        for vnic_id in list(self._link_pingers):
+            handle = self.orchestrator.handles.get(vnic_id)
+            live_fes = [] if handle is None else handle.fe_vswitches
+            kept = []
+            for ping in self._link_pingers[vnic_id]:
+                if any(fe is ping.fe_vswitch for fe in live_fes):
+                    kept.append(ping)
+                else:
+                    ping.stop()
+            if kept:
+                self._link_pingers[vnic_id] = kept
+            else:
+                del self._link_pingers[vnic_id]
 
     # -- failover ----------------------------------------------------------------------------------
 
@@ -394,6 +409,7 @@ class NezhaController:
             # here would kill the monitor process, blinding failover for
             # every other target.
             self._degraded("failover", vswitch.name, err)
+        self._prune_link_pingers()
 
     def _on_target_up(self, server: ServerNode) -> None:
         """A previously-down target answers probes again: let placement
@@ -407,9 +423,10 @@ class NezhaController:
     def _on_need_fes(self, handle: OffloadHandle, shortfall: int) -> None:
         if handle.vnic.vnic_id in self._inflight_vnics:
             return  # a replacement flow is already running
-        new_fes = self.placement.select(
+        new_fes = self.policy.select_fes(
             handle.be_vswitch, shortfall,
-            avoid={vs.server.name for vs in handle.fe_vswitches})
+            avoid={vs.server.name for vs in handle.fe_vswitches},
+            vnic=handle.vnic)
         if new_fes:
             done = self.orchestrator.scale_out(handle, new_fes)
             self._track_flow(handle.vnic.vnic_id, done)

@@ -59,8 +59,12 @@ class FePlacement:
             tiers.setdefault(distance, []).append(vswitch)
         chosen: List[VSwitch] = []
         for distance in sorted(tiers):
+            # Stable tie-break by server name: equal-utilization picks
+            # must not depend on registration (dict insertion) order, or
+            # policy comparisons diverge across otherwise-identical runs.
             candidates = sorted(tiers[distance],
-                                key=lambda vs: vs.cpu_utilization())
+                                key=lambda vs: (vs.cpu_utilization(),
+                                                vs.server.name))
             for vswitch in candidates:
                 if len(chosen) >= count:
                     return chosen

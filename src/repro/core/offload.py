@@ -616,6 +616,55 @@ class NezhaOrchestrator:
         self.trace.emit("nezha.be_migrated", vnic=vnic.vnic_id,
                         to=new_vswitch.name)
 
+    # -- FE migration (PAM-style push-neighbor-aside) -------------------------------------------------
+
+    def migrate_fe(self, handle: OffloadHandle, from_vswitch: VSwitch,
+                   to_vswitch: VSwitch) -> Event:
+        """Move one of ``handle``'s FEs off ``from_vswitch``: scale out
+        onto ``to_vswitch`` first, then gracefully retire the instance on
+        ``from_vswitch`` once the new FE is live — the vNIC never loses
+        FE capacity mid-migration. If the scale-out gives up (RPC
+        failure, target crashed/OOM) the old FE stays where it is."""
+        done = self.engine.event(f"migrate-fe-{handle.vnic.vnic_id}")
+        grown = self.scale_out(handle, [to_vswitch])
+
+        def finish():
+            yield grown
+            landed = any(fe.vswitch is to_vswitch
+                         for fe in handle.frontends.values())
+            live = (self.handles.get(handle.vnic.vnic_id) is handle
+                    and handle.state in (OffloadState.DUAL_RUNNING,
+                                         OffloadState.ACTIVE))
+            if landed and live:
+                for location, frontend in list(handle.frontends.items()):
+                    if frontend.vswitch is from_vswitch:
+                        self._retire_fe(handle, location, graceful=True)
+                self.trace.emit("nezha.fe_migrated",
+                                vnic=handle.vnic.vnic_id,
+                                src=from_vswitch.name,
+                                dst=to_vswitch.name)
+            else:
+                self.trace.emit("nezha.fe_migration_failed",
+                                vnic=handle.vnic.vnic_id,
+                                src=from_vswitch.name,
+                                dst=to_vswitch.name)
+            done.succeed(handle)
+
+        self.engine.process(finish(),
+                            name=f"migrate-fe-{handle.vnic.vnic_id}")
+        return done
+
+    def preempt_fe(self, handle: OffloadHandle, location: Location) -> None:
+        """Gracefully revoke one FE grant (tenant-quota preemption).
+
+        Unlike ``fail_fe``/``scale_in_vswitch`` this deliberately does
+        NOT request replacements: the scheduler reclaimed the unit, so
+        backfilling it would undo the preemption."""
+        if location not in handle.frontends:
+            return
+        self._retire_fe(handle, location, graceful=True)
+        self.trace.emit("nezha.fe_preempted", vnic=handle.vnic.vnic_id)
+
     # -- shared FE retirement ------------------------------------------------------------------------
 
     def _retire_fe(self, handle: OffloadHandle, location: Location,

@@ -62,6 +62,7 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
         flows_per_unit: int = 20_000,
         survivable_window: float = 3.6,
         resident: Optional[bool] = None,
+        policy: str = "nezha",
         stats: Optional[Dict[str, object]] = None) -> ExperimentResult:
     """Run the fleet for ``epochs`` demand redraws.
 
@@ -71,6 +72,10 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
     pool exactly when more than one effective worker is available
     (``jobs=1`` stays the legacy in-process loop either way); ``True`` /
     ``False`` force the mode — the output does not depend on it either.
+    ``policy`` selects the coordinator's allocation strategy
+    (``nezha``/``pam``/``supernic``/``sirius``, see
+    :class:`~repro.fleet.coordinator.FleetCoordinator`); the default
+    renders a table byte-identical to the pre-arena experiment.
     ``stats``, if given, receives phase timings and IPC accounting
     (``seed_epoch_s``, ``steady_epoch_s``, ``ipc_bytes_per_epoch``, ...)
     for the fleet benchmarks.
@@ -82,7 +87,8 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
     pool_units = (default_pool_units(n_vswitches)
                   if fe_pool_units is None else fe_pool_units)
     coordinator = FleetCoordinator(seed=seed, pool_units=pool_units,
-                                   survivable_window=survivable_window)
+                                   survivable_window=survivable_window,
+                                   policy=policy)
     states = make_shards(params, shards)
     grants: dict = {}
     if resident is None:
@@ -187,6 +193,12 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
                    paper="")
     result.add_row(metric="fe grant denials", value=coordinator.denied_requests,
                    paper="")
+    # Policy-specific rows only for non-default policies: the nezha table
+    # must stay byte-identical to the pre-arena experiment (CI-gated).
+    if policy != "nezha":
+        result.add_row(metric="allocation policy", value=policy, paper="")
+        result.add_row(metric="fe preemptions",
+                       value=coordinator.preemptions, paper="")
     result.note(f"{n_vswitches} vSwitches x {epochs} epochs sharing "
                 f"{pool_units} FE units; hot vSwitches run per-packet "
                 "micro-sims, the cold tail advances fluidly on flyweight "

@@ -1,0 +1,198 @@
+"""Policy arena: PAM, SuperNIC, Sirius, and Nezha head-to-head.
+
+The comparison figure the paper never ran. Every registered
+load-sharing policy (:mod:`repro.controller.policy`) is scored on the
+same two stages:
+
+* **testbed** — the §6.2 micro-testbed under closed-loop CRR load with
+  the *controller* (not a hand-placed offload) reacting through the
+  policy under test: measured CPS, probe-flow P99 latency via the
+  telemetry span layer (the fig12 probe pattern on a standalone
+  :class:`~repro.telemetry.spans.SpanRecorder`), and the mean number of
+  FE instances the policy keeps deployed;
+* **fleet** — the fleet workload's demand redraws with the matching
+  :class:`~repro.fleet.coordinator.FleetCoordinator` allocation policy:
+  FE-pool cost per epoch (mean units in use), overall mitigated
+  fraction, denials, and preemptions.
+
+Each (policy, stage) pair is an independent sweep point with its own
+engine and seed, so ``--jobs N`` fans the arena out process-parallel and
+still renders a table byte-identical to ``--jobs 1``. Pass
+``policy="pam"`` (CLI: ``--policy pam``) to score a single policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.controller import ControllerConfig, NezhaController
+from repro.controller.placement import FePlacement
+from repro.controller.policy import POLICY_NAMES, make_policy
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fleet import default_pool_units
+from repro.experiments.parallel import sweep
+from repro.experiments.testbed import SERVER_IP, build_testbed
+from repro.fleet import (FleetCoordinator, FleetParams, make_shards,
+                         run_shard_epoch)
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+from repro.telemetry import spans as _spans
+from repro.telemetry.spans import SpanRecorder
+from repro.workloads import ClosedLoopCrr
+
+PROBE_PORT = 9000
+
+
+def _testbed_stage(policy_name: str, seed: int, duration: float,
+                   warmup: float, concurrency_per_client: int,
+                   probe_rate: float = 200.0) -> Dict[str, float]:
+    """CPS + span-layer P99 + mean deployed FEs for one policy."""
+    testbed = build_testbed(n_clients=4, n_idle=8, seed=seed)
+    engine = testbed.engine
+    placement = FePlacement(testbed.topo, {})
+    config = ControllerConfig(poll_interval=0.05)
+    controller = NezhaController(engine, testbed.gateway,
+                                 testbed.orchestrator, placement,
+                                 config=config,
+                                 policy=make_policy(policy_name))
+    for vswitch in testbed.vswitches:
+        controller.register(vswitch)
+    controller.start()
+
+    loops = [ClosedLoopCrr(engine, app, SERVER_IP, 80,
+                           concurrency=concurrency_per_client).start()
+             for app in testbed.client_apps]
+
+    # fig12-style probe flow; the span layer times every delivery.
+    probe_vnic = testbed.client_vnics[0]
+    probe_vm = testbed.client_vms[0]
+    testbed.server_vm.listen(testbed.server_vnic, PROBE_PORT, lambda pkt: None)
+    span_label = f"arena/{policy_name}"
+
+    def probe():
+        first = True
+        while True:
+            pkt = Packet.tcp(probe_vnic.tenant_ip, SERVER_IP, 9100,
+                             PROBE_PORT,
+                             TcpFlags.of("syn") if first
+                             else TcpFlags.of("psh", "ack"))
+            if _spans.ACTIVE:
+                _spans.begin(pkt, span_label, engine.now)
+            probe_vm.send(probe_vnic, pkt, new_connection=first)
+            first = False
+            yield engine.timeout(1.0 / probe_rate)
+
+    engine.process(probe(), name="arena-probe")
+
+    # Mean FE instances deployed across the measurement window: the
+    # testbed-side cost of the policy's placement decisions.
+    fe_samples: List[int] = []
+
+    def sample_fes():
+        while True:
+            fe_samples.append(sum(
+                len(h.frontends)
+                for h in testbed.orchestrator.handles.values()))
+            yield engine.timeout(config.poll_interval)
+
+    recorder = SpanRecorder()
+    recorder.install()
+    try:
+        testbed.run(warmup)
+        recorder.clear()              # measurement starts clean
+        engine.process(sample_fes(), name="arena-fe-sampler")
+        start = sum(loop.completed for loop in loops)
+        testbed.run(duration)
+        cps = (sum(loop.completed for loop in loops) - start) / duration
+        aggregated = recorder.aggregate().get(span_label)
+    finally:
+        recorder.uninstall()
+    p99 = aggregated["latency"]["P99"] if aggregated else 0.0
+    fe_mean = sum(fe_samples) / len(fe_samples) if fe_samples else 0.0
+    return {"cps": cps, "p99_us": p99 * 1e6, "fe_units": fe_mean,
+            "offloads": controller.offloads_triggered}
+
+
+def _fleet_stage(policy_name: str, seed: int, n_vswitches: int,
+                 epochs: int) -> Dict[str, float]:
+    """FE-pool cost and mitigation for one coordinator policy."""
+    params = FleetParams(seed=seed, n_vswitches=n_vswitches)
+    pool_units = default_pool_units(n_vswitches)
+    coordinator = FleetCoordinator(seed=seed, pool_units=pool_units,
+                                   policy=policy_name)
+    states = make_shards(params, 1)
+    grants: dict = {}
+    for epoch in range(epochs):
+        outcomes = [run_shard_epoch((state, epoch, grants, params))
+                    for state in states]
+        states = [state for state, _report in outcomes]
+        reports = [report for _state, report in outcomes]
+        grants = coordinator.settle(epoch, reports)
+    occurrences = sum(c[0] for c in coordinator.overloads.values())
+    residual = sum(c[1] for c in coordinator.overloads.values())
+    mitigated = (1.0 - residual / occurrences) if occurrences else 1.0
+    mean_units = (sum(coordinator.utilization) * pool_units
+                  / len(coordinator.utilization)
+                  if coordinator.utilization else 0.0)
+    return {"pool_units_per_epoch": mean_units,
+            "mitigated_pct": 100.0 * mitigated,
+            "denials": coordinator.denied_requests,
+            "preemptions": coordinator.preemptions}
+
+
+def run_point(point: Tuple[str, str, int, float, float, int, int, int]
+              ) -> Dict[str, float]:
+    """Sweep point: one (stage, policy) measurement in its own engine."""
+    (stage, policy_name, seed, duration, warmup,
+     concurrency_per_client, fleet_vswitches, fleet_epochs) = point
+    if stage == "testbed":
+        return _testbed_stage(policy_name, seed, duration, warmup,
+                              concurrency_per_client)
+    return _fleet_stage(policy_name, seed, fleet_vswitches, fleet_epochs)
+
+
+def run(policy: Optional[str] = None, seed: int = 0,
+        jobs: Optional[int] = 1, duration: float = 1.2,
+        warmup: float = 0.6, concurrency_per_client: int = 64,
+        fleet_vswitches: int = 1000,
+        fleet_epochs: int = 3) -> ExperimentResult:
+    """Score load-sharing policies head-to-head.
+
+    ``policy=None`` runs the whole arena (every registered policy); a
+    name runs that single policy — same columns, one row.
+    """
+    policies = list(POLICY_NAMES) if policy is None else [policy]
+    points = []
+    for stage in ("testbed", "fleet"):
+        for name in policies:
+            points.append((stage, name, seed, duration, warmup,
+                           concurrency_per_client, fleet_vswitches,
+                           fleet_epochs))
+    measured = sweep(points, run_point, jobs=jobs)
+    testbed_rows = dict(zip(policies, measured[:len(policies)]))
+    fleet_rows = dict(zip(policies, measured[len(policies):]))
+
+    result = ExperimentResult(
+        name="policy_arena",
+        description="load-sharing policies head-to-head: CPS, span-layer "
+                    "P99 latency, and FE-pool cost",
+        columns=["policy", "cps", "p99_us", "fe_units",
+                 "pool_units_per_epoch", "mitigated_pct", "denials",
+                 "preemptions"],
+    )
+    for name in policies:
+        micro = testbed_rows[name]
+        fleet = fleet_rows[name]
+        result.add_row(policy=name, cps=micro["cps"],
+                       p99_us=micro["p99_us"], fe_units=micro["fe_units"],
+                       pool_units_per_epoch=fleet["pool_units_per_epoch"],
+                       mitigated_pct=fleet["mitigated_pct"],
+                       denials=fleet["denials"],
+                       preemptions=fleet["preemptions"])
+    result.note("testbed columns (cps, p99_us, fe_units) come from the "
+                "§6.2 micro-testbed with the controller running each "
+                "policy; pool columns from the fleet workload under the "
+                "matching coordinator allocation. sirius is the "
+                "no-load-sharing baseline; expect nezha >= pam >= sirius "
+                "on cps and sirius to mitigate nothing at fleet scale.")
+    return result

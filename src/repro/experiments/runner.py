@@ -34,7 +34,7 @@ from repro.experiments.parallel import default_jobs, sweep
 FAST_EXPERIMENTS = ["fig3", "fig4", "table1", "table3", "table4", "table5",
                     "fig13", "fig15", "tablea1", "figa1", "appb2"]
 SLOW_EXPERIMENTS = ["fig2", "fig9", "fig10", "fig11", "fig12", "fig14",
-                    "chaos", "fleet"]
+                    "chaos", "fleet", "policy_arena"]
 ALL_EXPERIMENTS = FAST_EXPERIMENTS + SLOW_EXPERIMENTS
 
 
@@ -54,17 +54,20 @@ def _quick_kwargs(name: str) -> dict:
 
 def _run_kwargs(run_fn, seed: int, jobs: int,
                 shards: Optional[int] = None,
-                resident: Optional[bool] = None) -> dict:
+                resident: Optional[bool] = None,
+                policy: Optional[str] = None) -> dict:
     """Keyword arguments ``run_fn`` actually accepts.
 
     Inspects the signature's *parameters* — the old
     ``"seed" in run.__code__.co_varnames`` check also matched local
     variables, so a seedless ``run`` with a ``seed`` local would have
-    been called with an unexpected keyword. ``shards`` and ``resident``
-    are forwarded only when the experiment takes them (today: fleet)
-    *and* the user asked for a specific value; ``None`` keeps the
-    experiment's own default (fleet matches shards to jobs and uses the
-    resident pool whenever more than one worker is effective).
+    been called with an unexpected keyword. ``shards``, ``resident``,
+    and ``policy`` are forwarded only when the experiment takes them
+    (today: fleet and policy_arena) *and* the user asked for a specific
+    value; ``None`` keeps the experiment's own default (fleet matches
+    shards to jobs, uses the resident pool whenever more than one worker
+    is effective, and allocates with the Nezha policy; policy_arena runs
+    every policy).
     """
     params = inspect.signature(run_fn).parameters
     kwargs = {}
@@ -76,15 +79,18 @@ def _run_kwargs(run_fn, seed: int, jobs: int,
         kwargs["shards"] = shards
     if "resident" in params and resident is not None:
         kwargs["resident"] = resident
+    if "policy" in params and policy is not None:
+        kwargs["policy"] = policy
     return kwargs
 
 
 def run_experiment(name: str, seed: int = 0, jobs: int = 1,
                    fast: bool = False, shards: Optional[int] = None,
-                   resident: Optional[bool] = None):
+                   resident: Optional[bool] = None,
+                   policy: Optional[str] = None):
     """Import and execute one experiment; returns (result, elapsed_s)."""
     module = importlib.import_module(f"repro.experiments.{name}")
-    kwargs = _run_kwargs(module.run, seed, jobs, shards, resident)
+    kwargs = _run_kwargs(module.run, seed, jobs, shards, resident, policy)
     if fast:
         kwargs.update(_quick_kwargs(name))
     started = time.perf_counter()
@@ -94,9 +100,11 @@ def run_experiment(name: str, seed: int = 0, jobs: int = 1,
 
 def run_one(name: str, seed: int = 0, jobs: int = 1,
             fast: bool = False, shards: Optional[int] = None,
-            resident: Optional[bool] = None) -> None:
+            resident: Optional[bool] = None,
+            policy: Optional[str] = None) -> None:
     result, elapsed = run_experiment(name, seed, jobs, fast=fast,
-                                     shards=shards, resident=resident)
+                                     shards=shards, resident=resident,
+                                     policy=policy)
     print(result.to_text())
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
@@ -149,6 +157,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(--no-resident); default: resident whenever "
                              "more than one worker is effective; output is "
                              "byte-identical either way")
+    parser.add_argument("--policy", default=None,
+                        choices=["nezha", "pam", "supernic", "sirius"],
+                        help="load-sharing policy for experiments that "
+                             "take one (fleet: coordinator allocation; "
+                             "policy_arena: run just this policy instead "
+                             "of the full head-to-head); default: the "
+                             "experiment's own (nezha / all policies)")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record telemetry (metrics, latency spans, "
                              "unified trace, engine profile) and export it "
@@ -182,7 +197,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         else:
             run_one(args.experiment, args.seed, jobs, fast=args.fast,
-                    shards=args.shards, resident=args.resident)
+                    shards=args.shards, resident=args.resident,
+                    policy=args.policy)
         if tel is not None:
             lines = tel.export(args.telemetry)
             print(f"[telemetry: {lines} lines -> {args.telemetry}]")

@@ -19,11 +19,26 @@ Allocation policy (mirrors the controller's all-or-nothing placement,
 renewals are served first so an active offload is never evicted by a
 newcomer mid-overload; grants are released the first epoch the holder
 stops requesting.
+
+The allocation step is pluggable (``policy=``), mirroring the
+controller-level :mod:`repro.controller.policy` arena at fleet
+granularity:
+
+* ``"nezha"`` — the default above, byte-identical to the pre-arena
+  coordinator;
+* ``"pam"`` — push-neighbor-aside: each hotspot gets at most one unit
+  (a single neighbor's spare capacity), so partially-served hotspots
+  stay residual for their capacity kinds;
+* ``"supernic"`` — per-tenant fair shares of the pool
+  (tenant = index mod ``n_tenants``) with preemption: an under-quota
+  tenant's request evicts over-quota tenants' newest grants;
+* ``"sirius"`` — no shared pool: every request is denied (the
+  before-Nezha baseline).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.controller.latency import ControlLatencyModel
 from repro.experiments.fig13 import activation_sampler
@@ -34,12 +49,20 @@ from repro.workloads.fleet import HotspotKind
 class FleetCoordinator:
     """Allocates the shared FE pool and scores mitigation per epoch."""
 
+    POLICIES = ("nezha", "pam", "supernic", "sirius")
+
     def __init__(self, seed: int, pool_units: int,
                  survivable_window: float = 3.6,
-                 latency: ControlLatencyModel = None) -> None:
+                 latency: ControlLatencyModel = None,
+                 policy: str = "nezha", n_tenants: int = 8) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown fleet policy {policy!r}; "
+                             f"choose from {', '.join(self.POLICIES)}")
         self.seed = seed
         self.pool_units = pool_units
         self.survivable_window = survivable_window
+        self.policy = policy
+        self.n_tenants = n_tenants
         self._sample_activation = activation_sampler(
             latency or ControlLatencyModel())
         #: global vSwitch index -> granted FE units (active offloads)
@@ -50,6 +73,7 @@ class FleetCoordinator:
         #: per-epoch pool utilization after settling, in [0, 1]
         self.utilization: List[float] = []
         self.denied_requests = 0
+        self.preemptions = 0
 
     def units_in_use(self) -> int:
         return sum(self.grants.values())
@@ -74,28 +98,14 @@ class FleetCoordinator:
             if index not in requesting:
                 del self.grants[index]
 
-        # Renewals first — an active offload keeps its capacity — then
-        # new requests, both in ascending global index.
-        free = self.pool_units - self.units_in_use()
-        newly_granted = set()
-        for renewal_pass in (True, False):
-            for index, units, _kinds in requests:
-                held = index in self.grants
-                if held is not renewal_pass:
-                    continue
-                if held:
-                    continue  # renewal: capacity already reserved
-                if units <= free:
-                    self.grants[index] = units
-                    newly_granted.add(index)
-                    free -= units
-                else:
-                    self.denied_requests += 1
+        allocate = getattr(self, f"_allocate_{self.policy}")
+        newly_granted, under_granted = allocate(requests)
 
         # Mitigation accounting (fig13 semantics, one decision per kind):
         # denied -> residual; #vNIC overloads and renewals are mitigated
         # outright (rule tables live on the FEs already / offload is
-        # active); a fresh grant mitigates only if activation lands
+        # active); a partial grant (PAM/SuperNIC) leaves capacity kinds
+        # residual; a fresh full grant mitigates only if activation lands
         # inside the survivable window.
         for index, _units, kinds in requests:
             if index in newly_granted:
@@ -112,8 +122,126 @@ class FleetCoordinator:
                     counters[1] += 1          # denied: overload stands
                 elif kind is HotspotKind.VNICS:
                     pass                      # §6.3.3: always mitigated
+                elif index in under_granted:
+                    counters[1] += 1          # partial grant: still over
                 elif index in newly_granted and not activated:
                     counters[1] += 1          # activated too late
         self.utilization.append(self.units_in_use() / self.pool_units
                                 if self.pool_units else 0.0)
         return dict(self.grants)
+
+    # -- allocation policies -------------------------------------------------
+
+    def _allocate_nezha(self, requests: List[Tuple[int, int, List[str]]]
+                        ) -> Tuple[Set[int], Set[int]]:
+        """All-or-nothing, renewals first — an active offload keeps its
+        capacity — then new requests, both in ascending global index."""
+        free = self.pool_units - self.units_in_use()
+        newly_granted: Set[int] = set()
+        for renewal_pass in (True, False):
+            for index, units, _kinds in requests:
+                held = index in self.grants
+                if held is not renewal_pass:
+                    continue
+                if held:
+                    continue  # renewal: capacity already reserved
+                if units <= free:
+                    self.grants[index] = units
+                    newly_granted.add(index)
+                    free -= units
+                else:
+                    self.denied_requests += 1
+        return newly_granted, set()
+
+    def _allocate_pam(self, requests: List[Tuple[int, int, List[str]]]
+                      ) -> Tuple[Set[int], Set[int]]:
+        """Push-neighbor-aside: each hotspot is served with at most one
+        unit (a single neighbor's spare capacity), so a multi-unit
+        demand is under-granted and stays residual."""
+        free = self.pool_units - self.units_in_use()
+        newly_granted: Set[int] = set()
+        under_granted: Set[int] = set()
+        for renewal_pass in (True, False):
+            for index, units, _kinds in requests:
+                held = index in self.grants
+                if held is not renewal_pass:
+                    continue
+                if held:
+                    if units > self.grants[index]:
+                        under_granted.add(index)
+                    continue
+                grant = min(units, 1)
+                if grant <= free:
+                    self.grants[index] = grant
+                    newly_granted.add(index)
+                    free -= grant
+                    if grant < units:
+                        under_granted.add(index)
+                else:
+                    self.denied_requests += 1
+        return newly_granted, under_granted
+
+    def _allocate_supernic(self, requests: List[Tuple[int, int, List[str]]]
+                           ) -> Tuple[Set[int], Set[int]]:
+        """Per-tenant fair shares (tenant = index mod ``n_tenants``) with
+        preemption: a capped request from an under-quota tenant evicts
+        over-quota tenants' newest grants to make room."""
+        quota = max(1, self.pool_units // max(1, self.n_tenants))
+        usage: Dict[int, int] = {}
+        for index, units in self.grants.items():
+            tenant = index % self.n_tenants
+            usage[tenant] = usage.get(tenant, 0) + units
+        free = self.pool_units - self.units_in_use()
+        newly_granted: Set[int] = set()
+        under_granted: Set[int] = set()
+        for renewal_pass in (True, False):
+            for index, units, _kinds in requests:
+                held = index in self.grants
+                if held is not renewal_pass:
+                    continue
+                if held:
+                    continue  # renewal: capacity already reserved
+                tenant = index % self.n_tenants
+                grant = min(units, max(0, quota - usage.get(tenant, 0)))
+                if grant == 0:
+                    self.denied_requests += 1  # tenant is at its quota
+                    continue
+                if grant > free:
+                    free += self._preempt_over_quota(quota, usage,
+                                                     grant - free)
+                if grant <= free:
+                    self.grants[index] = grant
+                    newly_granted.add(index)
+                    usage[tenant] = usage.get(tenant, 0) + grant
+                    free -= grant
+                    if grant < units:
+                        under_granted.add(index)
+                else:
+                    self.denied_requests += 1
+        return newly_granted, under_granted
+
+    def _preempt_over_quota(self, quota: int, usage: Dict[int, int],
+                            needed: int) -> int:
+        """Evict over-quota tenants' grants, highest index (newest
+        hotspot) first, until ``needed`` units are free; returns the
+        number of units actually freed."""
+        freed = 0
+        for index in sorted(self.grants, reverse=True):
+            if freed >= needed:
+                break
+            tenant = index % self.n_tenants
+            if usage.get(tenant, 0) <= quota:
+                continue
+            units = self.grants.pop(index)
+            usage[tenant] -= units
+            freed += units
+            self.preemptions += 1
+        return freed
+
+    def _allocate_sirius(self, requests: List[Tuple[int, int, List[str]]]
+                         ) -> Tuple[Set[int], Set[int]]:
+        """No shared FE pool: every request is denied and every overload
+        stands — the before-Nezha baseline."""
+        for _index, _units, _kinds in requests:
+            self.denied_requests += 1
+        return set(), set()

@@ -362,6 +362,118 @@ def test_gateway_remove_propagates_deletion_to_learners():
     assert table.lookup(VNI, TENANT_B) is None
 
 
+def test_fallback_streak_pruned_when_handle_leaves_active():
+    """An idle-poll streak must die with its handle: before the fix the
+    entry survived fallback/abort/failover, so a re-offloaded vNIC (same
+    id, fresh handle) inherited the stale streak and fell back almost
+    immediately after activating."""
+    env, controller = controller_env()
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:4])
+    env.engine.run(until=2.0)
+    assert handle.state is OffloadState.ACTIVE
+    vnic_id = env.vnic_b.vnic_id
+    controller._fallback_idle_polls[vnic_id] = 15  # idle for 15 polls
+    env.orchestrator.fallback(handle)
+    env.engine.run(until=env.engine.now + 2.0)
+    assert vnic_id not in env.orchestrator.handles
+    # Re-offload: the fresh handle is DUAL_RUNNING during the same tick
+    # the prune runs, so "not in handles" alone would not catch this.
+    handle2 = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:4])
+    assert handle2.state is not OffloadState.ACTIVE
+    controller._consider_fallbacks()
+    assert vnic_id not in controller._fallback_idle_polls
+    env.engine.run(until=env.engine.now + 2.0)
+    assert handle2.state is OffloadState.ACTIVE
+    controller._consider_fallbacks()
+    # The new incarnation starts its streak from scratch, not from 15.
+    assert controller._fallback_idle_polls.get(vnic_id, 0) <= 1
+    assert controller.fallbacks == 0
+
+
+def test_fallback_skips_vnic_with_inflight_scale_out():
+    """A fallback must not race an in-flight scale-out for the same
+    vNIC: before the fix the fallback tore the handle down while the
+    flow was still adding an FE, orphaning the new instance."""
+    env, controller = controller_env()
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:4])
+    env.engine.run(until=2.0)
+    assert handle.state is OffloadState.ACTIVE
+    vnic_id = env.vnic_b.vnic_id
+    controller._on_need_fes(handle, 1)  # scale-out flow now in flight
+    assert vnic_id in controller._inflight_vnics
+    # Idle streak already over the threshold: without the in-flight
+    # check the very next pass triggers the fallback.
+    controller._fallback_idle_polls[vnic_id] = \
+        controller.config.fallback_polls
+    controller._consider_fallbacks()
+    assert controller.fallbacks == 0
+    assert handle.state is OffloadState.ACTIVE
+    env.engine.run(until=env.engine.now + 2.0)
+    # The in-flight FE landed on the still-live handle, not an orphan.
+    assert len(handle.frontends) == 5
+
+
+def test_link_pingers_stopped_on_fallback():
+    """Fallback must stop the vNIC's BE-FE pingers: a leaked pinger
+    keeps probing and, after the FE host stops answering for unrelated
+    reasons, excludes and fails over a vSwitch that no longer hosts
+    this FE."""
+    env, controller = controller_env()
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:4])
+    env.engine.run(until=2.0)
+    pingers = controller.watch_links(handle, interval=0.3)
+    vnic_id = env.vnic_b.vnic_id
+    assert controller._link_pingers[vnic_id] == pingers
+    controller._fallback_idle_polls[vnic_id] = \
+        controller.config.fallback_polls
+    controller._consider_fallbacks()
+    assert controller.fallbacks == 1
+    assert all(ping._stopped for ping in pingers)
+    assert vnic_id not in controller._link_pingers
+    env.engine.run(until=env.engine.now + 2.0)
+    # A dark link on the former FE host must go unnoticed now.
+    former = pingers[0].fe_vswitch
+    env.topo.fail_server_links(former.server)
+    env.engine.run(until=env.engine.now + 3.0)
+    assert former.server.name not in controller.placement.excluded
+    assert controller.failovers == 0
+
+
+def test_link_pingers_pruned_after_fe_failover():
+    """When an FE is removed underneath its pinger (failover here;
+    scale-in and preemption take the same path) the reconcile tail must
+    stop that pinger while leaving the surviving FEs watched."""
+    env, controller = controller_env()
+    handle = env.orchestrator.offload(env.vnic_b, env.idle_vswitches[:4])
+    env.engine.run(until=2.0)
+    pingers = controller.watch_links(handle, interval=0.3)
+    victim = handle.fe_vswitches[0]
+    env.orchestrator.fail_fe(victim)
+    controller._prune_link_pingers()
+    victim_pings = [p for p in pingers if p.fe_vswitch is victim]
+    live_pings = [p for p in pingers if p.fe_vswitch is not victim]
+    assert victim_pings and all(p._stopped for p in victim_pings)
+    assert live_pings and not any(p._stopped for p in live_pings)
+    assert [p for p in controller._link_pingers[env.vnic_b.vnic_id]] \
+        == live_pings
+
+
+def test_placement_tie_break_independent_of_registration_order():
+    """Equal-utilization candidates must sort by server name, not by
+    dict insertion order — otherwise two controllers registering the
+    same fleet in different orders place FEs differently and policy
+    comparisons diverge on identical clusters."""
+    env = build_nezha_env(n_servers=6)
+    by_name = {vs.server.name: vs for vs in env.vswitches}
+    forward = FePlacement(env.topo, by_name)
+    backward = FePlacement(env.topo, dict(reversed(list(by_name.items()))))
+    expect = [vs.server.name for vs in forward.select(env.vswitch_b, 4)]
+    got = [vs.server.name for vs in backward.select(env.vswitch_b, 4)]
+    assert expect == got
+    # All candidates idle (utilization 0.0): the pick is pure name order.
+    assert expect == sorted(expect)
+
+
 def test_controller_does_not_double_scale_inflight_vnic():
     """Two shortfall signals for the same vNIC in one tick must trigger
     one scale-out flow: before the per-vNIC in-flight tracking the

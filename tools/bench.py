@@ -34,6 +34,11 @@ peak-vs-naive-sessions memory ratio (regenerates BENCH_fleet.json; with
 
     PYTHONPATH=src python tools/bench.py --fleet
     PYTHONPATH=src python tools/bench.py --fleet --smoke
+
+Arena — time only the policy_arena macro (sequential vs parallel, quick
+profile) and merge its entry into BENCH_experiments.json::
+
+    PYTHONPATH=src python tools/bench.py --arena
 """
 
 from __future__ import annotations
@@ -342,6 +347,10 @@ def main(argv=None) -> int:
                              "per fleet scale point -> BENCH_fleet.json "
                              "(with --smoke: reduced scale, shard-identity "
                              "check + peak-memory gate only)")
+    parser.add_argument("--arena", action="store_true",
+                        help="shortcut for --experiments --only "
+                             "policy_arena: time the policy arena and "
+                             "merge its entry into BENCH_experiments.json")
     parser.add_argument("--telemetry", action="store_true",
                         help="telemetry mode: fig9 wall clock with the "
                              "telemetry stack installed vs not; merges a "
@@ -371,6 +380,9 @@ def main(argv=None) -> int:
                              "(default: 0.30, or 0.10 with --telemetry)")
     args = parser.parse_args(argv)
 
+    if args.arena:
+        args.only = "policy_arena"
+        return run_experiments_mode(args)
     if args.experiments:
         return run_experiments_mode(args)
     if args.fleet:

@@ -20,9 +20,11 @@ from repro.bench.micro import (BENCHES, MicroBench, calibration_loop,
 from repro.bench.macro import (MACRO_BENCHES, MacroBench, run_macro,
                                run_macro_bench, run_telemetry_overhead)
 from repro.bench.fleet import (run_fleet_point, run_fleet_smoke,
-                               run_fleet_suite)
+                               run_fleet_suite,
+                               run_fleet_telemetry_overhead)
 
 __all__ = ["BENCHES", "MicroBench", "calibration_loop", "run_bench",
            "run_all", "MACRO_BENCHES", "MacroBench", "run_macro",
            "run_macro_bench", "run_telemetry_overhead",
-           "run_fleet_point", "run_fleet_smoke", "run_fleet_suite"]
+           "run_fleet_point", "run_fleet_smoke", "run_fleet_suite",
+           "run_fleet_telemetry_overhead"]

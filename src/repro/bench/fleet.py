@@ -38,6 +38,20 @@ RESIDENT_SMOKE_SCALE = 400
 #: Worker/shard count for the per-scale resident-mode measurement.
 RESIDENT_SHARDS = 2
 RESIDENT_JOBS = 2
+#: Worker counts the resident measurement sweeps: jobs=1 is the
+#: in-process pseudo-pool (no IPC, the fork/pipe cost isolated away),
+#: jobs=2 the real two-worker pool — their per-phase walls answer
+#: "where does --jobs time go" (ROADMAP: true multi-core numbers).
+RESIDENT_JOBS_SWEEP = (1, 2)
+#: Scale for the telemetry-overhead measurement. Larger than the quick
+#: profile (1000 vSwitches x 3 epochs, ~0.4s untraced) so the 2% gate
+#: measures the hooks, not scheduler noise on a 0.1s run.
+OVERHEAD_SCALE = 1_000
+OVERHEAD_EPOCHS = 3
+#: Smoke-gate slack on the tracing-off fleet wall clock
+#: (calibration-normalized): the ISSUE 10 bar — the disabled metric
+#: hooks must stay within 2% of the committed baseline.
+TELEMETRY_GATE_TOLERANCE = 0.02
 #: Smoke-gate slack on peak memory: at 500 vSwitches fixed overheads
 #: (imports, code objects, the hot micro-sims' engines) are a large
 #: share of a small peak, so the gate is loose; the ratio bar is what
@@ -117,21 +131,103 @@ def run_fleet_point(n_vswitches: int, epochs: int = 3, seed: int = 0,
         "rows": len(result.rows),
     }
     if measure_resident:
-        rstats: Dict[str, object] = {}
-        started = time.perf_counter()
-        run(n_vswitches=n_vswitches, epochs=epochs, seed=seed,
-            shards=RESIDENT_SHARDS, jobs=RESIDENT_JOBS, resident=True,
-            stats=rstats)
-        entry["resident"] = {
-            "shards": RESIDENT_SHARDS,
-            "jobs": rstats["jobs"],
-            "wall_s": round(time.perf_counter() - started, 3),
-            "ipc_bytes_per_epoch": round(rstats["ipc_bytes_per_epoch"], 1),
-            "ipc_bytes_init": rstats["ipc_bytes_init"],
-            "ipc_bytes_collect": rstats["ipc_bytes_collect"],
-            "state_mb": round(rstats["state_nbytes"] / 1e6, 3),
-        }
+        resident: Dict[str, Dict[str, object]] = {}
+        for jobs in RESIDENT_JOBS_SWEEP:
+            rstats: Dict[str, object] = {}
+            started = time.perf_counter()
+            run(n_vswitches=n_vswitches, epochs=epochs, seed=seed,
+                shards=RESIDENT_SHARDS, jobs=jobs, resident=True,
+                stats=rstats)
+            pool = rstats.get("pool", {})
+            phase_wall = pool.get("phase_wall_s", {})
+            steps = phase_wall.get("step", [])
+            resident[f"jobs_{jobs}"] = {
+                "shards": RESIDENT_SHARDS,
+                "jobs": rstats["jobs"],
+                "wall_s": round(time.perf_counter() - started, 3),
+                "seed_epoch_s": round(rstats["seed_epoch_s"], 3),
+                "steady_epoch_s": round(rstats["steady_epoch_s"], 3),
+                "phase_wall_s": {
+                    "init": round(phase_wall.get("init", 0.0), 3),
+                    "step_seed": round(steps[0], 3) if steps else None,
+                    "step_steady": round(sum(steps[1:])
+                                         / max(1, len(steps) - 1), 3)
+                    if len(steps) > 1 else None,
+                    "collect": round(phase_wall.get("collect", 0.0), 3),
+                },
+                "ipc_bytes_per_epoch":
+                    round(rstats.get("ipc_bytes_per_epoch", 0), 1),
+                "ipc_bytes_init": rstats.get("ipc_bytes_init", 0),
+                "ipc_bytes_collect": rstats.get("ipc_bytes_collect", 0),
+                "state_mb": round(rstats["state_nbytes"] / 1e6, 3),
+            }
+        entry["resident"] = resident
     return entry
+
+
+def run_fleet_telemetry_overhead(repeats: int = 3) -> Dict[str, object]:
+    """Fleet (quick scale) wall clock with telemetry installed vs not.
+
+    The fleet instance of the telemetry layer's two performance
+    contracts (the ``run_telemetry_overhead`` idiom from
+    :mod:`repro.bench.macro`, on the fleet epoch loop instead of fig9):
+
+    * **tracing-off cost** — with nothing installed, metric collection
+      is one ``params.collect_metrics`` check per shard epoch and the
+      coordinator journal one ``is None`` check per decision site, so
+      the tracked ``normalized_off`` (seconds x the machine-independent
+      calibration loop) must hold within ``TELEMETRY_GATE_TOLERANCE``
+      of the committed baseline;
+    * **observation purity** — the telemetry-on run (snapshots
+      collected, folded, journaled) must render a byte-identical
+      result table.
+
+    Both runs are best-of-``repeats`` after one untimed warm-up.
+    """
+    from repro import telemetry
+    from repro.bench.micro import _ops_per_sec, calibration_loop
+    from repro.experiments.fleet import run
+
+    kwargs = dict(n_vswitches=OVERHEAD_SCALE, epochs=OVERHEAD_EPOCHS,
+                  seed=0, shards=1, jobs=1)
+
+    def run_once(with_telemetry: bool):
+        if with_telemetry:
+            telemetry.install(profile=False)
+        try:
+            started = time.perf_counter()
+            result = run(**kwargs)
+            return result, time.perf_counter() - started
+        finally:
+            if with_telemetry:
+                telemetry.uninstall()
+
+    run_once(False)  # warm-up: imports, code objects, allocator pools
+    off_result, off_s = run_once(False)
+    on_result, on_s = run_once(True)
+    for _ in range(max(0, repeats - 1)):
+        _ignored, elapsed = run_once(False)
+        off_s = min(off_s, elapsed)
+        _ignored, elapsed = run_once(True)
+        on_s = min(on_s, elapsed)
+    # Best-of-5 over longer windows than the micro benches use: the 2%
+    # gate leaves no room for sampling noise in the normalizer.
+    calibration = max(_ops_per_sec(calibration_loop, 10_000, 0.25)
+                      for _ in range(5))
+    return {
+        "description": "fleet (quick) wall clock, telemetry installed "
+                       "vs not",
+        "n_vswitches": OVERHEAD_SCALE,
+        "epochs": OVERHEAD_EPOCHS,
+        "repeats": repeats,
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        "overhead_ratio": round(on_s / off_s, 4) if off_s else None,
+        "normalized_off": round(off_s * calibration, 1),
+        "calibration_ops_per_sec": round(calibration, 1),
+        "identical_output": off_result.to_text() == on_result.to_text(),
+        "gate_tolerance": TELEMETRY_GATE_TOLERANCE,
+    }
 
 
 def run_fleet_suite(epochs: int = 3, seed: int = 0) -> Dict[str, Dict]:

@@ -116,11 +116,15 @@ class NezhaController:
     def _decide(self, action: str, **fields) -> None:
         """One controller decision: traced, and — when telemetry is
         installed — appended to the ``controller.decisions`` event log
-        with the *why* (the fields) attached."""
+        and the decision journal (tagged with the active policy's name,
+        so cross-policy captures diff cleanly) with the *why* (the
+        fields) attached."""
         self.trace.emit(f"controller.{action}", **fields)
         tel = _telemetry.current()
         if tel is not None:
             tel.decision(self.engine.now, action, **fields)
+            tel.decisions.controller_event(self.engine.now,
+                                           self.policy.name, action, fields)
 
     # -- registration ------------------------------------------------------------
 

@@ -61,6 +61,13 @@ class LoadSharingPolicy:
     def bind(self, controller: "NezhaController") -> None:
         self.controller = controller
 
+    def decide(self, action: str, **fields) -> None:
+        """Trace + journal one policy decision through the bound
+        controller — the seam's single observability funnel, so every
+        policy's why-log lands in the same ``controller.<action>`` trace
+        kinds and (under telemetry) the same decision journal."""
+        self.controller._decide(action, **fields)
+
     # -- what to offload ---------------------------------------------------
 
     def offload_order(self, book: "_NodeBook", candidates: List["Vnic"],
@@ -176,18 +183,18 @@ class NezhaPolicy(LoadSharingPolicy):
                     done = c.orchestrator.scale_out(handle, new_fes)
                     c._track_flow(vnic_id, done)
                     c.scale_outs += 1
-                    c._decide("scale_out", vnic=vnic_id,
-                              fe=new_fes[0].name, cpu=round(cpu, 4),
-                              remote_share=round(remote_share, 4))
+                    self.decide("scale_out", vnic=vnic_id,
+                                fe=new_fes[0].name, cpu=round(cpu, 4),
+                                remote_share=round(remote_share, 4))
         else:
             # Local traffic needs the resources: evict every hosted FE.
             c.placement.exclude(vswitch)
             removed = c.orchestrator.scale_in_vswitch(vswitch)
             if removed:
                 c.scale_ins += 1
-                c._decide("scale_in", vswitch=vswitch.name,
-                          removed=removed, cpu=round(cpu, 4),
-                          remote_share=round(remote_share, 4))
+                self.decide("scale_in", vswitch=vswitch.name,
+                            removed=removed, cpu=round(cpu, 4),
+                            remote_share=round(remote_share, 4))
 
     def fallback_decision(self, handle, fe_usage):
         be = handle.be_vswitch
@@ -236,14 +243,14 @@ class PamPolicy(NezhaPolicy):
                 avoid={vs.server.name for vs in handle.fe_vswitches},
                 vnic=handle.vnic)
             if not targets:
-                c._decide("no_migration_target", vnic=vnic_id,
-                          vswitch=vswitch.name)
+                self.decide("no_migration_target", vnic=vnic_id,
+                            vswitch=vswitch.name)
                 continue
             done = c.orchestrator.migrate_fe(handle, vswitch, targets[0])
             c._track_flow(vnic_id, done)
             self.migrations += 1
-            c._decide("fe_migration", vnic=vnic_id, src=vswitch.name,
-                      dst=targets[0].name, cpu=round(cpu, 4))
+            self.decide("fe_migration", vnic=vnic_id, src=vswitch.name,
+                        dst=targets[0].name, cpu=round(cpu, 4))
 
 
 class SuperNicPolicy(NezhaPolicy):
@@ -302,8 +309,8 @@ class SuperNicPolicy(NezhaPolicy):
         quota = self._quota(usage, extra_tenant=vnic.vni)
         headroom = quota - usage.get(vnic.vni, 0)
         if headroom <= 0:
-            self.controller._decide("quota_denied", vnic=vnic.vnic_id,
-                                    tenant=vnic.vni, quota=quota)
+            self.decide("quota_denied", vnic=vnic.vnic_id,
+                        tenant=vnic.vni, quota=quota)
             return []
         return super().select_fes(be_vswitch, min(count, headroom),
                                   avoid=avoid, vnic=vnic)
@@ -324,8 +331,8 @@ class SuperNicPolicy(NezhaPolicy):
                 c.orchestrator.preempt_fe(handle, location)
                 usage[vni] -= 1
                 self.preemptions += 1
-                c._decide("fe_preempted", vnic=handle.vnic.vnic_id,
-                          tenant=vni, quota=quota)
+                self.decide("fe_preempted", vnic=handle.vnic.vnic_id,
+                            tenant=vni, quota=quota)
 
 
 class SiriusPolicy(LoadSharingPolicy):

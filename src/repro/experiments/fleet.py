@@ -31,11 +31,13 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from repro import telemetry as _telemetry
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig13 import PAPER_MITIGATION
 from repro.experiments.parallel import ResidentPool, resolve_jobs, sweep
 from repro.fleet import (FleetCoordinator, FleetParams, make_shards,
                          run_shard_epoch)
+from repro.telemetry.fleet import fold, fold_snapshots
 from repro.workloads.fleet import HotspotKind
 
 
@@ -63,6 +65,7 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
         survivable_window: float = 3.6,
         resident: Optional[bool] = None,
         policy: str = "nezha",
+        fleet_metrics: Optional[bool] = None,
         stats: Optional[Dict[str, object]] = None) -> ExperimentResult:
     """Run the fleet for ``epochs`` demand redraws.
 
@@ -76,14 +79,23 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
     (``nezha``/``pam``/``supernic``/``sirius``, see
     :class:`~repro.fleet.coordinator.FleetCoordinator`); the default
     renders a table byte-identical to the pre-arena experiment.
+    ``fleet_metrics`` turns the per-shard metric snapshots on
+    (``None`` = on exactly when telemetry is installed): each epoch
+    report carries a plain-data snapshot, folded here in slot order
+    into one fleet-wide snapshot (``stats["fleet_metrics"]``, and the
+    installed telemetry's capture). The snapshots are derived from the
+    reports, so every rendered value is byte-identical either way.
     ``stats``, if given, receives phase timings and IPC accounting
     (``seed_epoch_s``, ``steady_epoch_s``, ``ipc_bytes_per_epoch``, ...)
     for the fleet benchmarks.
     """
     if shards is None:
         shards = max(1, jobs)
+    if fleet_metrics is None:
+        fleet_metrics = _telemetry.current() is not None
     params = FleetParams(seed=seed, n_vswitches=n_vswitches,
-                         flows_per_unit=flows_per_unit)
+                         flows_per_unit=flows_per_unit,
+                         collect_metrics=bool(fleet_metrics))
     pool_units = (default_pool_units(n_vswitches)
                   if fe_pool_units is None else fe_pool_units)
     coordinator = FleetCoordinator(seed=seed, pool_units=pool_units,
@@ -101,6 +113,7 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
     hot_cpu_sum = 0.0
     fluid_pkts = fluid_bytes = 0
     epoch_walls = []
+    fleet_snapshot = None
     try:
         for epoch in range(epochs):
             epoch_started = time.perf_counter()
@@ -113,6 +126,14 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
                 states = [state for state, _report in outcomes]
                 reports = [report for _state, report in outcomes]
             grants = coordinator.settle(epoch, reports)
+            if params.collect_metrics:
+                # Fold in submission order (= ascending global index):
+                # the slot-order fold contract makes the merged snapshot
+                # byte-identical across shards x jobs x residency.
+                epoch_snapshot = fold_snapshots(
+                    report["metrics"] for report in reports)
+                fleet_snapshot = epoch_snapshot if fleet_snapshot is None \
+                    else fold(fleet_snapshot, epoch_snapshot)
             for report in reports:  # submission order = ascending index
                 cold = report["cold"]
                 fluid_pkts += cold["pkts"]
@@ -144,7 +165,15 @@ def run(n_vswitches: int = 10_000, epochs: int = 3, seed: int = 0,
             stats["ipc_bytes_init"] = pool.init_ipc_bytes
             stats["ipc_bytes_collect"] = pool.collect_ipc_bytes
             stats["ipc_bytes_per_epoch"] = pool.ipc_bytes_per_step()
+            stats["pool"] = pool.runtime_stats()
         stats["state_nbytes"] = sum(state.nbytes() for state in states)
+        stats["store_stats"] = [state.store.stats() for state in states]
+        if fleet_snapshot is not None:
+            stats["fleet_metrics"] = fleet_snapshot
+    if fleet_snapshot is not None:
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.set_fleet_metrics(fleet_snapshot)
 
     # End-of-run materialization boundary: fold pending aggregates into
     # the flyweight columns and cross-check the fluid totals exactly.

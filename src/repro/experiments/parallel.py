@@ -41,8 +41,10 @@ import os
 import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro import telemetry as _telemetry
 from repro.sim.rng import derive_seed
 
 P = TypeVar("P")
@@ -133,41 +135,55 @@ def _resident_worker_main(conn, worker_fn) -> None:
     Slots are processed in ascending slot order inside the worker;
     combined with contiguous slot assignment across workers, replies
     concatenate into global slot order at the coordinator. Exceptions
-    are caught and shipped back as ``("error", traceback)`` so the
+    are caught and shipped back as ``("error", traceback, None)`` so the
     coordinator can re-raise with context instead of losing the worker.
+
+    Every reply is ``(status, value, meta)`` where ``meta`` carries the
+    worker-side runtime instrumentation: ``wall_s`` (time spent inside
+    the handler, measured on the worker's own clock — no cross-process
+    clock comparison) and ``recv_wait_s`` (cumulative time blocked
+    waiting for the coordinator's next message: the queue wait).
+    Instrumentation never touches the reply *values*, so reports stay
+    byte-identical with or without anyone reading the meta.
     """
     _mark_worker()  # nested sweep()s inside worker_fn must serialize
     states: dict = {}
+    recv_wait_s = 0.0
     try:
         while True:
+            wait_started = perf_counter()
             try:
-                message = pickle.loads(conn.recv_bytes())
+                blob = conn.recv_bytes()
             except EOFError:
                 return          # coordinator went away; nothing to save
+            recv_wait_s += perf_counter() - wait_started
+            message = pickle.loads(blob)
             kind = message[0]
+            started = perf_counter()
             try:
                 if kind == "init":
                     for slot, state in message[1]:
                         states[slot] = state
-                    reply = ("ok", None)
+                    value = None
                 elif kind == "step":
                     payload = message[1]
-                    replies = []
+                    value = []
                     for slot in sorted(states):
                         states[slot], report = worker_fn(states[slot],
                                                          payload)
-                        replies.append(report)
-                    reply = ("ok", replies)
+                        value.append(report)
                 elif kind == "collect":
-                    reply = ("ok", [states[slot]
-                                    for slot in sorted(states)])
+                    value = [states[slot] for slot in sorted(states)]
                 elif kind == "stop":
-                    conn.send_bytes(pickle.dumps(("ok", None)))
+                    conn.send_bytes(pickle.dumps(("ok", None, None)))
                     return
                 else:
-                    reply = ("error", f"unknown message kind {kind!r}")
+                    raise ValueError(f"unknown message kind {kind!r}")
+                meta = {"wall_s": perf_counter() - started,
+                        "recv_wait_s": recv_wait_s}
+                reply = ("ok", value, meta)
             except Exception:
-                reply = ("error", traceback.format_exc())
+                reply = ("error", traceback.format_exc(), None)
             conn.send_bytes(pickle.dumps(reply,
                                          protocol=pickle.HIGHEST_PROTOCOL))
     finally:
@@ -225,6 +241,19 @@ class ResidentPool:
         self.init_ipc_bytes = 0
         self.step_ipc_bytes: List[int] = []
         self.collect_ipc_bytes = 0
+        #: Coordinator-side wall clock per phase ("step" is per call).
+        self.phase_wall_s: dict = {"init": 0.0, "step": [], "collect": 0.0}
+        #: Per-worker runtime accounting from reply meta (worker-side
+        #: clocks): handler wall per phase, cumulative recv wait, steps.
+        #: The degenerate in-process pool keeps one pseudo-worker entry
+        #: so "--jobs 1 vs 2" reads from the same artifact shape.
+        self.worker_runtime: List[dict] = [
+            {"steps": 0, "init_wall_s": 0.0, "step_wall_s": 0.0,
+             "collect_wall_s": 0.0, "recv_wait_s": 0.0}
+            for _ in range(self._jobs)]
+        tel = _telemetry.current()
+        if tel is not None:
+            tel.register_resident_pool(self)
         if self._jobs == 1:
             self._worker_fn = worker_fn
             return
@@ -246,13 +275,19 @@ class ResidentPool:
             self._workers.append({"process": process, "conn": parent_conn,
                                   "slots": range(lo, hi)})
             lo = hi
+        init_started = perf_counter()
         sent = 0
         for worker in self._workers:
             sent += self._send(worker, (
                 "init", [(slot, self._states[slot])
                          for slot in worker["slots"]]))
-        received = sum(self._recv(worker)[1] for worker in self._workers)
+        received = 0
+        for w, worker in enumerate(self._workers):
+            _value, nbytes, meta = self._recv(worker)
+            received += nbytes
+            self._account(w, "init", meta)
         self.init_ipc_bytes = sent + received
+        self.phase_wall_s["init"] = perf_counter() - init_started
         # States now live in the workers; drop the coordinator copies so
         # residency is real (and measurable), not a cached duplicate.
         self._states = None
@@ -279,13 +314,23 @@ class ResidentPool:
             blob = conn.recv_bytes()
         except EOFError:
             raise self._death(worker) from None
-        status, value = pickle.loads(blob)
+        status, value, meta = pickle.loads(blob)
         if status == "error":
             raise ResidentWorkerError(
                 f"resident worker {worker['process'].name} "
                 f"(slots {worker['slots'][0]}..{worker['slots'][-1]}) "
                 f"raised:\n{value}")
-        return value, len(blob)
+        return value, len(blob), meta
+
+    def _account(self, w: int, phase: str, meta) -> None:
+        """Fold one reply's worker-side meta into the runtime totals."""
+        if meta is None:
+            return
+        runtime = self.worker_runtime[w]
+        runtime[f"{phase}_wall_s"] += meta["wall_s"]
+        runtime["recv_wait_s"] = meta["recv_wait_s"]
+        if phase == "step":
+            runtime["steps"] += 1
 
     def _death(self, worker: dict) -> ResidentWorkerError:
         process = worker["process"]
@@ -301,39 +346,53 @@ class ResidentPool:
         """Broadcast ``payload``; returns per-slot reports in slot order."""
         if self._closed:
             raise ResidentWorkerError("pool is closed")
+        started = perf_counter()
         if self._jobs == 1:
             reports = []
             for slot, state in enumerate(self._states):
                 self._states[slot], report = self._worker_fn(state, payload)
                 reports.append(report)
             self.step_ipc_bytes.append(0)
+            wall = perf_counter() - started
+            self.phase_wall_s["step"].append(wall)
+            runtime = self.worker_runtime[0]
+            runtime["step_wall_s"] += wall
+            runtime["steps"] += 1
             return reports
         sent = sum(self._send(worker, ("step", payload))
                    for worker in self._workers)
         reports = []
         received = 0
-        for worker in self._workers:
-            replies, nbytes = self._recv(worker)
+        for w, worker in enumerate(self._workers):
+            replies, nbytes, meta = self._recv(worker)
             reports.extend(replies)
             received += nbytes
+            self._account(w, "step", meta)
         self.step_ipc_bytes.append(sent + received)
+        self.phase_wall_s["step"].append(perf_counter() - started)
         return reports
 
     def collect(self) -> List[Any]:
         """Ship the final states back; returns them in slot order."""
         if self._closed:
             raise ResidentWorkerError("pool is closed")
+        started = perf_counter()
         if self._jobs == 1:
+            wall = perf_counter() - started
+            self.phase_wall_s["collect"] = wall
+            self.worker_runtime[0]["collect_wall_s"] += wall
             return list(self._states)
         sent = sum(self._send(worker, ("collect",))
                    for worker in self._workers)
         states = []
         received = 0
-        for worker in self._workers:
-            replies, nbytes = self._recv(worker)
+        for w, worker in enumerate(self._workers):
+            replies, nbytes, meta = self._recv(worker)
             states.extend(replies)
             received += nbytes
+            self._account(w, "collect", meta)
         self.collect_ipc_bytes = sent + received
+        self.phase_wall_s["collect"] = perf_counter() - started
         return states
 
     def close(self) -> None:
@@ -363,6 +422,30 @@ class ResidentPool:
         if not self.step_ipc_bytes:
             return 0.0
         return sum(self.step_ipc_bytes) / len(self.step_ipc_bytes)
+
+    def alive(self) -> List[bool]:
+        """Per-worker liveness (the in-process pool is "alive" until
+        closed). Safe to call after :meth:`close`."""
+        if self._jobs == 1:
+            return [not self._closed]
+        return [worker["process"].is_alive() for worker in self._workers]
+
+    def runtime_stats(self) -> dict:
+        """Plain-data runtime instrumentation: coordinator-side phase
+        walls, per-worker handler walls / queue waits / liveness, and
+        the IPC byte accounting — the "wall clock vs --jobs" artifact."""
+        return {
+            "jobs": self._jobs,
+            "phase_wall_s": {"init": self.phase_wall_s["init"],
+                             "step": list(self.phase_wall_s["step"]),
+                             "collect": self.phase_wall_s["collect"]},
+            "workers": [dict(runtime, alive=alive)
+                        for runtime, alive in zip(self.worker_runtime,
+                                                  self.alive())],
+            "ipc": {"init_bytes": self.init_ipc_bytes,
+                    "step_bytes": list(self.step_ipc_bytes),
+                    "collect_bytes": self.collect_ipc_bytes},
+        }
 
     def __enter__(self) -> "ResidentPool":
         return self

@@ -7,9 +7,10 @@ same two stages:
 * **testbed** — the §6.2 micro-testbed under closed-loop CRR load with
   the *controller* (not a hand-placed offload) reacting through the
   policy under test: measured CPS, probe-flow P99 latency via the
-  telemetry span layer (the fig12 probe pattern on a standalone
-  :class:`~repro.telemetry.spans.SpanRecorder`), and the mean number of
-  FE instances the policy keeps deployed;
+  shared telemetry span layer (the fig12 probe pattern inside a
+  :func:`~repro.telemetry.span_session` — reusing the installed
+  telemetry's recorder when there is one), and the mean number of FE
+  instances the policy keeps deployed;
 * **fleet** — the fleet workload's demand redraws with the matching
   :class:`~repro.fleet.coordinator.FleetCoordinator` allocation policy:
   FE-pool cost per epoch (mean units in use), overall mitigated
@@ -36,8 +37,8 @@ from repro.fleet import (FleetCoordinator, FleetParams, make_shards,
                          run_shard_epoch)
 from repro.net.packet import Packet
 from repro.net.tcp import TcpFlags
+from repro.telemetry import span_session
 from repro.telemetry import spans as _spans
-from repro.telemetry.spans import SpanRecorder
 from repro.workloads import ClosedLoopCrr
 
 PROBE_PORT = 9000
@@ -95,18 +96,18 @@ def _testbed_stage(policy_name: str, seed: int, duration: float,
                 for h in testbed.orchestrator.handles.values()))
             yield engine.timeout(config.poll_interval)
 
-    recorder = SpanRecorder()
-    recorder.install()
-    try:
+    # Shared span layer: reuse the installed telemetry's recorder when
+    # one exists (so arena probes land in the exported report), else a
+    # temporary recorder for just this stage. Clear only our own label —
+    # a shared recorder may be mid-flight with other sessions' spans.
+    with span_session() as recorder:
         testbed.run(warmup)
-        recorder.clear()              # measurement starts clean
+        recorder.clear(span_label)    # measurement starts clean
         engine.process(sample_fes(), name="arena-fe-sampler")
         start = sum(loop.completed for loop in loops)
         testbed.run(duration)
         cps = (sum(loop.completed for loop in loops) - start) / duration
         aggregated = recorder.aggregate().get(span_label)
-    finally:
-        recorder.uninstall()
     p99 = aggregated["latency"]["P99"] if aggregated else 0.0
     fe_mean = sum(fe_samples) / len(fe_samples) if fe_samples else 0.0
     return {"cps": cps, "p99_us": p99 * 1e6, "fe_units": fe_mean,

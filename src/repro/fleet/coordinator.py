@@ -38,11 +38,13 @@ granularity:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.controller.latency import ControlLatencyModel
 from repro.experiments.fig13 import activation_sampler
 from repro.sim.rng import SeededRng, derive_seed
+from repro.telemetry.fleet import DecisionJournal
 from repro.workloads.fleet import HotspotKind
 
 
@@ -54,7 +56,8 @@ class FleetCoordinator:
     def __init__(self, seed: int, pool_units: int,
                  survivable_window: float = 3.6,
                  latency: ControlLatencyModel = None,
-                 policy: str = "nezha", n_tenants: int = 8) -> None:
+                 policy: str = "nezha", n_tenants: int = 8,
+                 journal: Optional[DecisionJournal] = None) -> None:
         if policy not in self.POLICIES:
             raise ValueError(f"unknown fleet policy {policy!r}; "
                              f"choose from {', '.join(self.POLICIES)}")
@@ -74,9 +77,27 @@ class FleetCoordinator:
         self.utilization: List[float] = []
         self.denied_requests = 0
         self.preemptions = 0
+        # Decision journal: explicit, or the installed telemetry's, or
+        # None — in which case every producer site below is one check.
+        if journal is None:
+            tel = _telemetry.current()
+            journal = tel.decisions if tel is not None else None
+        self.journal = journal
+        self._epoch: Optional[int] = None
 
     def units_in_use(self) -> int:
         return sum(self.grants.values())
+
+    def _journal(self, action: str, index: Optional[int],
+                 **fields) -> None:
+        """Record one settle decision; pure observation — no RNG, no
+        accounting — so journaling on/off cannot perturb the run."""
+        journal = self.journal
+        if journal is None:
+            return
+        tenant = index % self.n_tenants if index is not None else None
+        journal.coordinator_event(self._epoch, self.policy, action,
+                                  index=index, tenant=tenant, **fields)
 
     def settle(self, epoch: int, reports: List[Dict[str, object]]
                ) -> Dict[int, int]:
@@ -91,11 +112,13 @@ class FleetCoordinator:
                 requests.append((entry["index"], entry["units"],
                                  entry["kinds"]))
         requesting = {index for index, _u, _k in requests}
+        self._epoch = epoch
 
         # Release grants whose holder went quiet (ascending index for a
         # deterministic free-pool trajectory, though release commutes).
         for index in sorted(self.grants):
             if index not in requesting:
+                self._journal("release", index, units=self.grants[index])
                 del self.grants[index]
 
         allocate = getattr(self, f"_allocate_{self.policy}")
@@ -114,6 +137,9 @@ class FleetCoordinator:
                     "act")
                 activation = self._sample_activation(rng)
                 activated = activation <= self.survivable_window
+                self._journal("mitigation", index, activated=activated,
+                              activation_s=activation,
+                              window=self.survivable_window)
             for kind_value in kinds:
                 kind = HotspotKind(kind_value)
                 counters = self.overloads[kind]
@@ -128,6 +154,11 @@ class FleetCoordinator:
                     counters[1] += 1          # activated too late
         self.utilization.append(self.units_in_use() / self.pool_units
                                 if self.pool_units else 0.0)
+        self._journal("settle", None, requests=len(requests),
+                      granted_new=len(newly_granted),
+                      under_granted=len(under_granted),
+                      in_use=self.units_in_use(), pool=self.pool_units,
+                      utilization=self.utilization[-1])
         return dict(self.grants)
 
     # -- allocation policies -------------------------------------------------
@@ -144,13 +175,20 @@ class FleetCoordinator:
                 if held is not renewal_pass:
                     continue
                 if held:
-                    continue  # renewal: capacity already reserved
+                    # renewal: capacity already reserved
+                    self._journal("renewal", index, requested=units,
+                                  granted=self.grants[index])
+                    continue
                 if units <= free:
                     self.grants[index] = units
                     newly_granted.add(index)
                     free -= units
+                    self._journal("grant", index, requested=units,
+                                  granted=units)
                 else:
                     self.denied_requests += 1
+                    self._journal("denial", index, requested=units,
+                                  granted=0, reason="pool_exhausted")
         return newly_granted, set()
 
     def _allocate_pam(self, requests: List[Tuple[int, int, List[str]]]
@@ -169,6 +207,8 @@ class FleetCoordinator:
                 if held:
                     if units > self.grants[index]:
                         under_granted.add(index)
+                    self._journal("renewal", index, requested=units,
+                                  granted=self.grants[index])
                     continue
                 grant = min(units, 1)
                 if grant <= free:
@@ -177,8 +217,14 @@ class FleetCoordinator:
                     free -= grant
                     if grant < units:
                         under_granted.add(index)
+                    self._journal("grant", index, requested=units,
+                                  granted=grant,
+                                  reason="single_unit_cap"
+                                  if grant < units else None)
                 else:
                     self.denied_requests += 1
+                    self._journal("denial", index, requested=units,
+                                  granted=0, reason="pool_exhausted")
         return newly_granted, under_granted
 
     def _allocate_supernic(self, requests: List[Tuple[int, int, List[str]]]
@@ -200,11 +246,17 @@ class FleetCoordinator:
                 if held is not renewal_pass:
                     continue
                 if held:
-                    continue  # renewal: capacity already reserved
+                    # renewal: capacity already reserved
+                    self._journal("renewal", index, requested=units,
+                                  granted=self.grants[index])
+                    continue
                 tenant = index % self.n_tenants
                 grant = min(units, max(0, quota - usage.get(tenant, 0)))
                 if grant == 0:
                     self.denied_requests += 1  # tenant is at its quota
+                    self._journal("denial", index, requested=units,
+                                  granted=0, reason="tenant_quota",
+                                  quota=quota)
                     continue
                 if grant > free:
                     free += self._preempt_over_quota(quota, usage,
@@ -216,8 +268,14 @@ class FleetCoordinator:
                     free -= grant
                     if grant < units:
                         under_granted.add(index)
+                    self._journal("grant", index, requested=units,
+                                  granted=grant, quota=quota,
+                                  reason="tenant_quota_cap"
+                                  if grant < units else None)
                 else:
                     self.denied_requests += 1
+                    self._journal("denial", index, requested=units,
+                                  granted=0, reason="pool_exhausted")
         return newly_granted, under_granted
 
     def _preempt_over_quota(self, quota: int, usage: Dict[int, int],
@@ -236,12 +294,16 @@ class FleetCoordinator:
             usage[tenant] -= units
             freed += units
             self.preemptions += 1
+            self._journal("preemption", index, units=units,
+                          reason="over_quota", quota=quota)
         return freed
 
     def _allocate_sirius(self, requests: List[Tuple[int, int, List[str]]]
                          ) -> Tuple[Set[int], Set[int]]:
         """No shared FE pool: every request is denied and every overload
         stands — the before-Nezha baseline."""
-        for _index, _units, _kinds in requests:
+        for index, units, _kinds in requests:
             self.denied_requests += 1
+            self._journal("denial", index, requested=units, granted=0,
+                          reason="no_pool")
         return set(), set()

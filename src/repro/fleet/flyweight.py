@@ -60,6 +60,14 @@ class FleetFlowStore:
                 + self.bytes.itemsize * len(self.bytes)
                 + self._free.itemsize * len(self._free))
 
+    def stats(self) -> dict:
+        """Occupancy snapshot for runtime instrumentation. Capacity and
+        free-list depth depend on intra-shard slot recycling (i.e. on
+        the shard layout), so these numbers belong in the run's ``stats``
+        side channel, never in the deterministic metric snapshot."""
+        return {"live": len(self), "capacity": self.capacity,
+                "free": len(self._free), "nbytes": self.nbytes()}
+
     # -- slot lifecycle -----------------------------------------------------
 
     def _grow(self, n: int) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro import telemetry
 from repro.fabric import Topology
 from repro.host.vm import Vm
 from repro.net.addr import IPv4Address, MacAddress
@@ -132,6 +133,16 @@ def simulate_hot_epoch(seed: int, demand_ratio: float, granted: bool,
     finally:
         FluidMode.enabled = prior_fluid
     stats = vswitch_a.stats
+    tel = telemetry.current()
+    if tel is not None:
+        # Observation only (counts, no RNG/clock reads): how much
+        # per-packet work the fleet's hot path did. Populated when the
+        # micro-sims run in-process (jobs=1); worker processes carry no
+        # installed telemetry, and the per-epoch hot *outcomes* travel
+        # in the shard snapshot instead.
+        tel.registry.counter("fleet.hotsim.runs").inc()
+        tel.registry.counter("fleet.hotsim.granted").inc(int(granted))
+        tel.registry.counter("fleet.hotsim.pkts").inc(flow.sent)
     return {
         "sim_sent": flow.sent,
         "sim_delivered": len(delivered),

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.rng import SeededRng, derive_seed
+from repro.telemetry.fleet import snapshot_shard
 from repro.workloads.fleet import (FleetCapacity, HotspotKind, VSwitchDemand,
                                    usage_dist)
 
@@ -79,6 +80,12 @@ class FleetParams:
     #: Simulated seconds of per-packet traffic for each hot vSwitch.
     hot_sim_duration: float = 0.2
     capacity: FleetCapacity = field(default_factory=FleetCapacity)
+    #: Attach a :func:`repro.telemetry.fleet.snapshot_shard` metric
+    #: snapshot to each epoch report (``report["metrics"]``). Off by
+    #: default; the epoch step pays one attribute check when disabled,
+    #: and the snapshot derives from the finished report, so no report
+    #: value changes either way.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.n_vswitches < 1:
@@ -346,6 +353,7 @@ def run_shard_epoch(point) -> Tuple[ShardState, Dict[str, object]]:
                 "index": g,
                 "kinds": [kind.value for kind in kinds],
                 "units": demand_units(demand, capacity, ratio),
+                "ratio": ratio,
                 "flows": len(block),
                 "pkts": pkts,
                 "bytes": nbytes,
@@ -362,4 +370,9 @@ def run_shard_epoch(point) -> Tuple[ShardState, Dict[str, object]]:
             "bytes": cold_bytes, "born": born_total, "died": died_total}
     report: Dict[str, object] = {"epoch": epoch, "lo": lo,
                                  "hi": state.hi, "cold": cold, "hot": hot}
+    if params.collect_metrics:
+        # End-of-epoch slot lengths equal the classification-time flow
+        # populations, so the snapshot is derivable entirely from the
+        # finished report + final slots — see snapshot_shard.
+        report["metrics"] = snapshot_shard(report, slots)
     return state, report

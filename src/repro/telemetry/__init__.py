@@ -26,12 +26,14 @@ While *not* installed, every hook degrades to a single attribute or
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.sim.trace import Trace
 from repro.telemetry import spans as _spans
 from repro.telemetry.export import SCHEMA, write_jsonl
+from repro.telemetry.fleet import DecisionJournal, fold
 from repro.telemetry.profiler import EngineProfiler
 from repro.telemetry.registry import MetricRegistry
 from repro.telemetry.spans import SpanRecorder
@@ -51,6 +53,12 @@ class Telemetry:
         self.registry = MetricRegistry()
         self.spans = SpanRecorder(capacity=span_capacity)
         self.profiler = EngineProfiler() if profile else None
+        #: Typed grant/denial/preemption/... events from the fleet
+        #: coordinator and the controller's policy seam.
+        self.decisions = DecisionJournal()
+        #: Folded fleet metric snapshot (repro.telemetry.fleet), set by
+        #: the fleet experiment at end of run.
+        self.fleet_metrics: Optional[Dict[str, Any]] = None
         self._engine = None
         # One shared trace for every component built while installed.
         # enable_all(): the unified stream captures every kind; capacity
@@ -145,6 +153,37 @@ class Telemetry:
         self.registry.events("controller.decisions", capacity=50_000)
         self.registry.counter("controller.reconcile.errors")
 
+    def register_resident_pool(self, pool) -> None:
+        """Probe-backed gauges over a fleet ResidentPool: liveness, IPC
+        bytes by phase, and per-worker wall-clock/queue-wait totals —
+        the artifact that answers "where does --jobs time go". Probes
+        read plain pool attributes, so they stay valid (and cheap) after
+        the pool is closed."""
+        reg = self.registry
+        reg.gauge("fleet.pool.jobs", probe=lambda p=pool: p.jobs)
+        reg.gauge("fleet.pool.workers_alive",
+                  probe=lambda p=pool: float(sum(p.alive())))
+        reg.gauge("fleet.pool.ipc.init_bytes",
+                  probe=lambda p=pool: p.init_ipc_bytes)
+        reg.gauge("fleet.pool.ipc.step_bytes",
+                  probe=lambda p=pool: sum(p.step_ipc_bytes))
+        reg.gauge("fleet.pool.ipc.collect_bytes",
+                  probe=lambda p=pool: p.collect_ipc_bytes)
+        for w in range(len(pool.worker_runtime)):
+            base = f"fleet.pool.worker{w}"
+            reg.gauge(f"{base}.alive",
+                      probe=lambda p=pool, w=w: float(p.alive()[w]))
+            reg.gauge(f"{base}.steps",
+                      probe=lambda p=pool, w=w: p.worker_runtime[w]["steps"])
+            for phase in ("init", "step", "collect"):
+                reg.gauge(
+                    f"{base}.{phase}_wall_s",
+                    probe=lambda p=pool, w=w, ph=phase:
+                        p.worker_runtime[w][f"{ph}_wall_s"])
+            reg.gauge(f"{base}.recv_wait_s",
+                      probe=lambda p=pool, w=w:
+                          p.worker_runtime[w]["recv_wait_s"])
+
     # -- structured hooks --------------------------------------------------
 
     def decision(self, now: float, action: str, **fields: Any) -> None:
@@ -159,6 +198,13 @@ class Telemetry:
         log = self.registry.events("offload.transitions", capacity=50_000)
         log.record(now, vnic=handle.vnic.vnic_id, state=state)
 
+    def set_fleet_metrics(self, snapshot: Dict[str, Any]) -> None:
+        """Attach a folded fleet metric snapshot to this capture; a
+        second fleet run in the same session folds in (one capture =
+        one session's worth of fleet activity)."""
+        self.fleet_metrics = snapshot if self.fleet_metrics is None \
+            else fold(self.fleet_metrics, snapshot)
+
     # -- export ------------------------------------------------------------
 
     def _lines(self) -> Iterator[Dict[str, Any]]:
@@ -167,17 +213,32 @@ class Telemetry:
                "spans": len(self.spans.spans),
                "trace_records": len(self.trace.records()),
                "trace_dropped": self.trace.dropped,
-               "span_dropped": self.spans.dropped}
+               "span_dropped": self.spans.dropped,
+               "decisions": len(self.decisions),
+               "decisions_dropped": self.decisions.dropped}
         for name in self.registry.names():
             metric = self.registry.get(name)
             if metric.enabled:
                 yield {"type": "metric", "name": name, "kind": metric.kind,
                        "value": metric.value()}
+        if self.fleet_metrics is not None:
+            # Folded fleet snapshot as metric lines: counters verbatim,
+            # histograms as {"edges", "counts"} under kind fleet_hist.
+            for key, value in self.fleet_metrics["counters"].items():
+                yield {"type": "metric", "name": f"fleet.{key}",
+                       "kind": "counter", "value": value}
+            for name, hist in self.fleet_metrics["hist"].items():
+                yield {"type": "metric", "name": f"fleet.hist.{name}",
+                       "kind": "fleet_hist",
+                       "value": {"edges": hist["edges"],
+                                 "counts": hist["counts"]}}
         for span in self.spans.to_dicts():
             yield dict(span, type="span")
         for record in self.trace.records():
             yield {"type": "trace", "time": record.time,
                    "kind": record.kind, "fields": record.fields}
+        for event in self.decisions.to_dicts():
+            yield dict(event, type="decision")
         if self.profiler is not None:
             yield dict(self.profiler.to_dict(), type="profile")
 
@@ -222,3 +283,25 @@ def active_trace(engine) -> Optional[Trace]:
         return None
     _current.bind_engine(engine)
     return _current.trace
+
+
+@contextmanager
+def span_session():
+    """The span recorder for one measurement window.
+
+    With telemetry installed this *is* the installed recorder (spans
+    land in the capture and the caller's aggregation alike — one code
+    path for fig12 captures and the policy arena); without, a temporary
+    standalone :class:`SpanRecorder` is installed for the duration and
+    torn down on exit. Callers that pre-warm should ``clear(label)``
+    only their own label: the shared recorder may hold other spans.
+    """
+    if _current is not None:
+        yield _current.spans
+        return
+    recorder = SpanRecorder()
+    recorder.install()
+    try:
+        yield recorder
+    finally:
+        recorder.uninstall()

@@ -7,6 +7,7 @@ subsequent line is a self-describing record::
     {"type": "metric", "name": "...", "kind": "counter", "value": ...}
     {"type": "span", "label": "...", "t0": ..., "hops": [...]}
     {"type": "trace", "time": ..., "kind": "...", "fields": {...}}
+    {"type": "decision", "source": "...", "policy": "...", "action": ...}
     {"type": "profile", "total_events": ..., "top": [...]}
 
 ``tools/telemetry.py`` consumes these files; :func:`validate_report`
@@ -21,13 +22,14 @@ from typing import Any, Dict, Iterable, List
 
 SCHEMA = "telemetry/v1"
 
-LINE_TYPES = ("header", "metric", "span", "trace", "profile")
+LINE_TYPES = ("header", "metric", "span", "trace", "decision", "profile")
 
 _REQUIRED_FIELDS: Dict[str, tuple] = {
     "header": ("schema",),
     "metric": ("name", "kind", "value"),
     "span": ("label", "t0", "hops", "total"),
     "trace": ("time", "kind", "fields"),
+    "decision": ("source", "policy", "action"),
     "profile": ("total_events", "total_wall_s", "top"),
 }
 

@@ -8,7 +8,10 @@ buckets it by owner.
 
 Attribution: bound methods bucket under ``TypeName.method`` — and when
 the receiver has a ``name`` (``Process``, ``Event``), under that name —
-so "which process is hot" falls straight out of :meth:`top`.
+so "which process is hot" falls straight out of :meth:`top`. Relay
+dispatches (``engine.call_soon`` scheduled as the callback itself, the
+direct-dispatch CPU completion path) are unwrapped to the relayed
+callback's owner so they don't pile up under the engine.
 """
 
 from __future__ import annotations
@@ -36,7 +39,18 @@ class EngineProfiler:
         self.total_wall_s = 0.0
         self.started_at: float = time.perf_counter()
 
-    def _owner_of(self, fn: Callable[..., Any]) -> str:
+    def _owner_of(self, fn: Callable[..., Any],
+                  args: Tuple[Any, ...] = ()) -> str:
+        # Relay unwrap: the direct-dispatch CPU path schedules its
+        # completion as ``engine.call_at(end, engine.call_soon, fn,
+        # *args)`` (resources.try_submit_call), so the heap pop hands the
+        # profiler the bound ``Engine.call_soon`` with the real callback
+        # in ``args[0]``. That cost belongs to the relayed callback's
+        # owner, not the engine's enqueue helper.
+        while (getattr(fn, "__name__", None) == "call_soon"
+               and getattr(fn, "__self__", None) is not None
+               and args and callable(args[0])):
+            fn, args = args[0], args[1:]
         receiver = getattr(fn, "__self__", None)
         fn_name = getattr(fn, "__name__", repr(fn))
         if receiver is None:
@@ -57,7 +71,7 @@ class EngineProfiler:
             fn(*args)
         finally:
             elapsed = time.perf_counter() - started
-            key = self._owner_of(fn)
+            key = self._owner_of(fn, args)
             bucket = self.buckets.get(key)
             if bucket is None:
                 bucket = self.buckets[key] = ProfileBucket()

@@ -359,20 +359,35 @@ def test_fleet_experiment_identical_with_pool_and_telemetry():
 
 
 def test_fleet_experiment_identity_matrix_shards_jobs_resident():
-    """The PR 8 determinism matrix: every shards × jobs × residency
-    combination renders the byte-identical table. jobs=1 is the legacy
-    in-process loop (resident=True degenerates to it in-process — no
-    worker processes, no pickling); jobs=2 exercises the real pool both
-    per-epoch-swept and resident."""
+    """The PR 8 determinism matrix, grown a telemetry axis by PR 10:
+    every shards × jobs × residency × telemetry combination renders the
+    byte-identical table AND folds the byte-identical fleet-metrics
+    snapshot. jobs=1 is the legacy in-process loop (resident=True
+    degenerates to it in-process — no worker processes, no pickling);
+    jobs=2 exercises the real pool both per-epoch-swept and resident;
+    the telemetry axis proves observation never perturbs the run."""
     import itertools
     from repro.experiments import fleet
-    base = fleet.run(shards=1, jobs=1, resident=False,
-                     **FLEET_KWARGS).to_text()
-    for shards, jobs, resident in itertools.product(
-            (1, 2, 4), (1, 2), (False, True)):
-        text = fleet.run(shards=shards, jobs=jobs, resident=resident,
-                         **FLEET_KWARGS).to_text()
-        assert text == base, (shards, jobs, resident)
+    base_stats = {}
+    base = fleet.run(shards=1, jobs=1, resident=False, fleet_metrics=True,
+                     stats=base_stats, **FLEET_KWARGS).to_text()
+    base_snapshot = base_stats["fleet_metrics"]
+    assert base_snapshot["counters"]["vswitches"] > 0
+    for shards, jobs, resident, with_tel in itertools.product(
+            (1, 2, 4), (1, 2), (False, True), (False, True)):
+        combo = (shards, jobs, resident, with_tel)
+        if with_tel:
+            telemetry.install()
+        try:
+            stats = {}
+            text = fleet.run(shards=shards, jobs=jobs, resident=resident,
+                             fleet_metrics=True, stats=stats,
+                             **FLEET_KWARGS).to_text()
+        finally:
+            if with_tel:
+                telemetry.uninstall()
+        assert text == base, combo
+        assert stats["fleet_metrics"] == base_snapshot, combo
 
 
 def test_fleet_experiment_seed_sensitivity():

@@ -35,6 +35,13 @@ peak-vs-naive-sessions memory ratio (regenerates BENCH_fleet.json; with
     PYTHONPATH=src python tools/bench.py --fleet
     PYTHONPATH=src python tools/bench.py --fleet --smoke
 
+Fleet telemetry — fleet epoch-loop wall clock with telemetry installed
+vs not (merges a ``telemetry_overhead`` block into BENCH_fleet.json;
+with ``--smoke``: gate the tracing-off cost, tolerance 2%)::
+
+    PYTHONPATH=src python tools/bench.py --fleet --telemetry
+    PYTHONPATH=src python tools/bench.py --fleet --telemetry --smoke
+
 Arena — time only the policy_arena macro (sequential vs parallel, quick
 profile) and merge its entry into BENCH_experiments.json::
 
@@ -55,7 +62,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (run_all, run_fleet_smoke, run_fleet_suite,  # noqa: E402
-                         run_macro, run_telemetry_overhead)
+                         run_fleet_telemetry_overhead, run_macro,
+                         run_telemetry_overhead)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
 DEFAULT_MACRO_OUTPUT = REPO_ROOT / "BENCH_experiments.json"
@@ -193,7 +201,7 @@ def print_fleet_table(entries: dict) -> None:
         wall = entry.get("wall_s")
         seed_s = entry.get("seed_epoch_s")
         steady_s = entry.get("steady_epoch_s")
-        resident = entry.get("resident") or {}
+        resident = (entry.get("resident") or {}).get("jobs_2", {})
         ipc = resident.get("ipc_bytes_per_epoch")
         print(f"{name:<13} {entry['n_vswitches']:>9} "
               f"{wall if wall is not None else '-':>8} "
@@ -273,6 +281,67 @@ def run_fleet_mode(args) -> int:
         },
         "fleet": entries,
     }
+    if output.exists():
+        # A full fleet regen must not drop the separately-tracked
+        # telemetry overhead block (regenerated via --fleet --telemetry).
+        previous = json.loads(output.read_text())
+        if "telemetry_overhead" in previous:
+            doc["telemetry_overhead"] = previous["telemetry_overhead"]
+    output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+def run_fleet_telemetry_mode(args) -> int:
+    """Measure telemetry overhead on the fleet epoch loop.
+
+    The fleet twin of ``--telemetry`` (which measures fig9): without
+    ``--smoke``, merges a ``telemetry_overhead`` block into the
+    committed BENCH_fleet.json; with ``--smoke``, gates against it —
+    the tracing-off wall clock (calibration-normalized) may not regress
+    more than the block's ``gate_tolerance`` (the ISSUE 10 2% bar), and
+    the telemetry-on run must render a byte-identical fleet table.
+    """
+    output = args.output if args.output != DEFAULT_OUTPUT \
+        else DEFAULT_FLEET_OUTPUT
+    entry = run_fleet_telemetry_overhead(repeats=3)
+    print(f"fleet (quick):  telemetry off {entry['off_s']:.2f}s  "
+          f"on {entry['on_s']:.2f}s  "
+          f"overhead {entry['overhead_ratio']:.3f}x  "
+          f"identical output: {entry['identical_output']}")
+
+    if not entry["identical_output"]:
+        print("\nerror: installing telemetry changed the fleet result "
+              "table", file=sys.stderr)
+        return 1
+
+    if args.smoke:
+        if not output.exists():
+            print(f"error: no baseline at {output}; run --fleet "
+                  f"--telemetry without --smoke first", file=sys.stderr)
+            return 2
+        baseline = json.loads(output.read_text()).get("telemetry_overhead")
+        if baseline is None:
+            print(f"error: {output.name} has no telemetry_overhead block; "
+                  f"run --fleet --telemetry without --smoke first",
+                  file=sys.stderr)
+            return 2
+        tolerance = baseline.get("gate_tolerance", 0.02) \
+            if args.tolerance is None else args.tolerance
+        ceiling = baseline["normalized_off"] * (1.0 + tolerance)
+        if entry["normalized_off"] > ceiling:
+            print(f"\nREGRESSION: tracing-off fleet cost "
+                  f"{entry['normalized_off']:,.0f} exceeds baseline "
+                  f"{baseline['normalized_off']:,.0f} by more than "
+                  f"{tolerance:.0%}", file=sys.stderr)
+            return 1
+        print(f"\nfleet-telemetry smoke OK: tracing-off cost within "
+              f"{tolerance:.0%} of {output.name}")
+        return 0
+
+    doc = json.loads(output.read_text()) if output.exists() \
+        else {"schema": FLEET_SCHEMA}
+    doc["telemetry_overhead"] = entry
     output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     return 0
@@ -356,7 +425,10 @@ def main(argv=None) -> int:
                              "telemetry stack installed vs not; merges a "
                              "telemetry_overhead block into "
                              "BENCH_fastpath.json (with --smoke: gate "
-                             "only, default tolerance 10%%)")
+                             "only, default tolerance 10%%). Combined "
+                             "with --fleet: same measurement on the "
+                             "fleet epoch loop -> BENCH_fleet.json "
+                             "(smoke tolerance 2%%)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for --experiments "
                              "(default: one per CPU core)")
@@ -385,6 +457,8 @@ def main(argv=None) -> int:
         return run_experiments_mode(args)
     if args.experiments:
         return run_experiments_mode(args)
+    if args.fleet and args.telemetry:
+        return run_fleet_telemetry_mode(args)
     if args.fleet:
         return run_fleet_mode(args)
     if args.telemetry:

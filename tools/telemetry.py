@@ -11,6 +11,8 @@ Then inspect it::
     python tools/telemetry.py report run.jsonl
     python tools/telemetry.py spans run.jsonl --label 'offloaded/*'
     python tools/telemetry.py timeline soak.jsonl --kind 'fault.*'
+    python tools/telemetry.py fleet-report fleet.jsonl
+    python tools/telemetry.py decisions arena.jsonl --policy 'pam'
     python tools/telemetry.py validate run.jsonl
 
 ``report`` is the overview: capture header, metric snapshot, the
@@ -19,7 +21,11 @@ per-segment decomposition), and the engine profile. ``spans`` goes
 deeper on one or more span labels. ``timeline`` prints the unified
 trace — faults, controller decisions, monitor verdicts, offload
 lifecycle — interleaved in time order, which is the chaos-soak
-post-mortem view. ``validate`` is the schema gate CI runs.
+post-mortem view. ``fleet-report`` renders the folded fleet metric
+snapshot (counters, demand/CPU/flow histograms) and the per-epoch
+coordinator timeline from the decision journal; ``decisions`` tallies
+the journal per policy and diffs outcomes across policies — the arena
+post-mortem. ``validate`` is the schema gate CI runs.
 """
 
 from __future__ import annotations
@@ -138,6 +144,10 @@ def cmd_report(args) -> int:
             elif metric["kind"] == "histogram":
                 rendered = (f"count {value['count']:.0f}  "
                             f"p50 {value['P50']:.6g}  p99 {value['P99']:.6g}")
+            elif metric["kind"] == "fleet_hist":
+                rendered = (f"{sum(value['counts'])} samples in "
+                            f"{len(value['counts'])} buckets "
+                            f"(see fleet-report)")
             elif isinstance(value, float):
                 rendered = f"{value:.6g}"
             else:
@@ -192,6 +202,162 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def _bucket_labels(edges: List[float], n_buckets: int) -> List[str]:
+    """Render the fleet fold's bisect_left buckets: bucket i holds
+    values in (edges[i-1], edges[i]], the last bucket is overflow."""
+    labels = []
+    for i in range(n_buckets):
+        lo = "-inf" if i == 0 else f"{edges[i - 1]:g}"
+        hi = f"{edges[i]:g}" if i < len(edges) else "+inf"
+        labels.append(f"({lo}, {hi}]")
+    return labels
+
+
+def _coordinator_epochs(decisions: List[Dict[str, Any]]
+                        ) -> Dict[tuple, Dict[str, Any]]:
+    """Group coordinator events by (policy, epoch) with action tallies."""
+    grouped: Dict[tuple, Dict[str, Any]] = {}
+    for event in decisions:
+        if event.get("source") != "coordinator":
+            continue
+        key = (event["policy"], event.get("epoch"))
+        entry = grouped.setdefault(key, {
+            "grants": 0, "renewals": 0, "denials": 0, "preemptions": 0,
+            "releases": 0, "mitigated": 0, "late": 0, "settle": None})
+        action = event["action"]
+        if action == "settle":
+            entry["settle"] = event
+        elif action == "grant":
+            entry["grants"] += 1
+        elif action == "renewal":
+            entry["renewals"] += 1
+        elif action == "denial":
+            entry["denials"] += 1
+        elif action == "preemption":
+            entry["preemptions"] += 1
+        elif action == "release":
+            entry["releases"] += 1
+        elif action == "mitigation":
+            entry["mitigated" if event.get("activated") else "late"] += 1
+    return grouped
+
+
+def cmd_fleet_report(args) -> int:
+    records = load(args.file)
+    metrics = _by_type(records, "metric")
+    counters = [m for m in metrics
+                if m["name"].startswith("fleet.") and m["kind"] == "counter"]
+    hists = [m for m in metrics if m["kind"] == "fleet_hist"]
+    decisions = _by_type(records, "decision")
+    if not counters and not decisions:
+        print("no fleet records in capture (run the fleet experiment "
+              "or the policy arena with --telemetry)", file=sys.stderr)
+        return 1
+
+    if counters:
+        print("fleet counters (folded across shards and epochs):")
+        for metric in counters:
+            print(f"  {metric['name']:<32} {metric['value']}")
+
+    for metric in hists:
+        edges = metric["value"]["edges"]
+        counts = metric["value"]["counts"]
+        total = sum(counts)
+        peak = max(counts) or 1
+        print(f"\n{metric['name']}  ({total} samples)")
+        for label, count in zip(_bucket_labels(edges, len(counts)), counts):
+            if count == 0:
+                continue
+            bar = "#" * max(1, round(36 * count / peak))
+            print(f"  {label:<20} {count:>10}  {bar}")
+
+    grouped = _coordinator_epochs(decisions)
+    if grouped:
+        print("\nper-epoch coordinator timeline:")
+        print(f"  {'policy':<10} {'epoch':>5} {'util':>6} {'in_use':>7} "
+              f"{'grants':>7} {'renew':>6} {'deny':>5} {'preempt':>8} "
+              f"{'release':>8} {'mitigated':>10}")
+        for (policy, epoch), entry in sorted(grouped.items(),
+                                             key=lambda kv: (kv[0][0],
+                                                             kv[0][1] or 0)):
+            settle = entry["settle"] or {}
+            util = settle.get("utilization")
+            in_use = settle.get("in_use")
+            mitigated = f"{entry['mitigated']}/" \
+                        f"{entry['mitigated'] + entry['late']}"
+            print(f"  {policy:<10} {epoch if epoch is not None else '-':>5} "
+                  f"{util if util is None else format(util, '.2f'):>6} "
+                  f"{in_use if in_use is not None else '-':>7} "
+                  f"{entry['grants']:>7} {entry['renewals']:>6} "
+                  f"{entry['denials']:>5} {entry['preemptions']:>8} "
+                  f"{entry['releases']:>8} {mitigated:>10}")
+    return 0
+
+
+def cmd_decisions(args) -> int:
+    records = load(args.file)
+    decisions = [d for d in _by_type(records, "decision")
+                 if fnmatchcase(str(d.get("policy")), args.policy)
+                 and fnmatchcase(str(d.get("source")), args.source)]
+    if not decisions:
+        print("no decision records match", file=sys.stderr)
+        return 1
+
+    policies: List[str] = []
+    actions: List[str] = []
+    counts: Dict[tuple, int] = {}
+    for event in decisions:
+        policy, action = event["policy"], event["action"]
+        if policy not in policies:
+            policies.append(policy)
+        if action not in actions:
+            actions.append(action)
+        counts[(policy, action)] = counts.get((policy, action), 0) + 1
+
+    print("decision counts by policy:")
+    print(f"  {'action':<12}" + "".join(f" {p:>12}" for p in policies))
+    for action in actions:
+        row = "".join(f" {counts.get((p, action), 0):>12}"
+                      for p in policies)
+        print(f"  {action:<12}{row}")
+
+    # Cross-policy outcome diff: the same (epoch, vswitch) request can be
+    # granted under one allocation policy and denied under another —
+    # exactly the arena's per-policy comparison, per decision.
+    if len(policies) >= 2:
+        outcomes: Dict[tuple, Dict[str, str]] = {}
+        for event in decisions:
+            if event.get("source") != "coordinator":
+                continue
+            if event["action"] not in ("grant", "denial", "renewal",
+                                       "preemption"):
+                continue
+            key = (event.get("epoch"), event.get("index"))
+            if key[1] is None:
+                continue
+            outcome = event["action"]
+            if "granted" in event:
+                outcome += f"({event['granted']})"
+            outcomes.setdefault(key, {})[event["policy"]] = outcome
+        diffs = {key: seen for key, seen in outcomes.items()
+                 if len(set(seen.values())) > 1 and len(seen) > 1}
+        print(f"\ncross-policy outcome diffs: {len(diffs)} of "
+              f"{len(outcomes)} (epoch, vswitch) requests decided "
+              f"differently")
+        shown = 0
+        for (epoch, index), seen in sorted(diffs.items(),
+                                           key=lambda kv: (kv[0][0] or 0,
+                                                           kv[0][1])):
+            if shown >= args.limit:
+                print(f"  ... {len(diffs) - shown} more (raise --limit)")
+                break
+            rendered = "  ".join(f"{policy}={seen[policy]}"
+                                 for policy in policies if policy in seen)
+            print(f"  e{epoch} vs{index}: {rendered}")
+            shown += 1
+    return 0
+
+
 def cmd_validate(args) -> int:
     try:
         records = load(args.file)
@@ -242,6 +408,27 @@ def main(argv=None) -> int:
                             help="show at most the last N records "
                                  "(0 = unlimited; default %(default)s)")
     p_timeline.set_defaults(fn=cmd_timeline)
+
+    p_fleet = sub.add_parser("fleet-report", help="folded fleet metrics, "
+                             "histograms, and per-epoch coordinator "
+                             "timeline")
+    p_fleet.add_argument("file", type=Path)
+    p_fleet.set_defaults(fn=cmd_fleet_report)
+
+    p_decisions = sub.add_parser("decisions", help="policy decision "
+                                 "journal: per-policy action counts and "
+                                 "cross-policy outcome diffs")
+    p_decisions.add_argument("file", type=Path)
+    p_decisions.add_argument("--policy", metavar="GLOB", default="*",
+                             help="only show decisions for policies "
+                                  "matching this glob")
+    p_decisions.add_argument("--source", metavar="GLOB", default="*",
+                             help="only show decisions from this source "
+                                  "(coordinator, controller)")
+    p_decisions.add_argument("--limit", type=int, default=20,
+                             help="show at most N outcome diffs "
+                                  "(default %(default)s)")
+    p_decisions.set_defaults(fn=cmd_decisions)
 
     p_validate = sub.add_parser("validate", help="schema gate: exit 1 on "
                                 "a malformed capture")
